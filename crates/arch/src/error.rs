@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Error type for architecture configuration and mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A configuration dimension was zero.
+    ZeroDimension(String),
+    /// A mapping requested more sub-arrays than the configuration has.
+    SubArrayOverflow {
+        /// Sub-arrays requested.
+        requested: usize,
+        /// Sub-arrays available.
+        available: usize,
+    },
+    /// Mapping vectors do not match the node counts they map.
+    MappingLengthMismatch {
+        /// What was being mapped (for the message).
+        what: String,
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// The microsimulator was asked for a problem size it cannot hold
+    /// (e.g. circular-convolution dimension exceeding the column height).
+    MicrosimCapacity {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::ZeroDimension(what) => write!(f, "{what} must be nonzero"),
+            ArchError::SubArrayOverflow { requested, available } => {
+                write!(f, "mapping requests {requested} sub-arrays but only {available} exist")
+            }
+            ArchError::MappingLengthMismatch { what, expected, actual } => {
+                write!(f, "{what} mapping has length {actual}, expected {expected}")
+            }
+            ArchError::MicrosimCapacity { message } => {
+                write!(f, "microsim capacity exceeded: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!ArchError::ZeroDimension("height".into()).to_string().is_empty());
+        assert!(!ArchError::SubArrayOverflow { requested: 5, available: 4 }
+            .to_string()
+            .is_empty());
+    }
+}

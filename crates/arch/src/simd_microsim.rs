@@ -1,0 +1,207 @@
+//! Cycle-level microsimulator for the custom SIMD unit.
+//!
+//! Mirrors [`crate::simd`]'s analytical cost model with an executable
+//! lane-and-tree pipeline: operands stream through `lanes` ALUs in beats,
+//! reductions drain through a `⌈log₂ lanes⌉`-stage adder tree. Tests pin
+//! the microsimulated cycle counts to [`crate::simd::op_cycles`] and the
+//! functional outputs to scalar references — the same verification pattern
+//! the AdArray microsim applies to eqs. (1)–(5).
+
+use nsflow_trace::{EltFunc, ReduceFunc};
+
+use crate::simd::{elt_func_cost, tree_depth};
+
+/// Result of a SIMD microsimulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdSimResult {
+    /// Output values (one per input element for element-wise ops; a single
+    /// scalar for reductions).
+    pub outputs: Vec<f32>,
+    /// Total pipeline cycles.
+    pub cycles: u64,
+}
+
+/// Executes an element-wise op over `inputs` on a `lanes`-wide unit.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0` or `inputs` is empty.
+#[must_use]
+pub fn elementwise(inputs: &[f32], func: EltFunc, lanes: usize) -> SimdSimResult {
+    assert!(lanes > 0, "lane count must be positive");
+    assert!(!inputs.is_empty(), "need at least one element");
+    let mut outputs = Vec::with_capacity(inputs.len());
+    let mut cycles = 0u64;
+    for beat in inputs.chunks(lanes) {
+        cycles += elt_func_cost(func);
+        // Softmax normalizes within the beat (the unit's per-group
+        // normalizer); other functions are pure per-lane maps.
+        if func == EltFunc::Softmax {
+            let max = beat.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = beat.iter().map(|&x| (x - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            outputs.extend(exps.into_iter().map(|e| e / sum));
+        } else {
+            outputs.extend(beat.iter().map(|&x| apply(func, x)));
+        }
+    }
+    SimdSimResult { outputs, cycles }
+}
+
+/// Executes a reduction over `inputs` on a `lanes`-wide unit with its
+/// adder tree.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0` or `inputs` is empty.
+#[must_use]
+pub fn reduce(inputs: &[f32], func: ReduceFunc, lanes: usize) -> SimdSimResult {
+    assert!(lanes > 0, "lane count must be positive");
+    assert!(!inputs.is_empty(), "need at least one element");
+    // Beat phase: per-lane partial accumulators.
+    let mut partials = vec![init_value(func); lanes];
+    let mut cycles = 0u64;
+    let per_beat = match func {
+        ReduceFunc::Norm => 2,
+        _ => 1,
+    };
+    for beat in inputs.chunks(lanes) {
+        cycles += per_beat;
+        for (lane, &x) in beat.iter().enumerate() {
+            partials[lane] = accumulate(func, partials[lane], x);
+        }
+    }
+    // Tree phase: log2(lanes) combining stages.
+    let mut level = partials;
+    for _ in 0..tree_depth(lanes) {
+        cycles += 1;
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    combine(func, pair[0], pair[1])
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+    }
+    let raw = level[0];
+    let result = match func {
+        ReduceFunc::Mean => raw / inputs.len() as f32,
+        ReduceFunc::Norm => raw.sqrt(),
+        _ => raw,
+    };
+    SimdSimResult { outputs: vec![result], cycles }
+}
+
+fn apply(func: EltFunc, x: f32) -> f32 {
+    match func {
+        EltFunc::Relu => x.max(0.0),
+        EltFunc::Clamp => x.clamp(0.0, 1.0),
+        EltFunc::Transcendental => x.tanh(),
+        EltFunc::Div => x * 0.5, // divide by a broadcast scalar of 2
+        EltFunc::Add => x + 1.0, // add a broadcast scalar of 1
+        EltFunc::Mul | EltFunc::Affine => x * 2.0,
+        EltFunc::PoolMax => x,
+        _ => x,
+    }
+}
+
+fn init_value(func: ReduceFunc) -> f32 {
+    match func {
+        ReduceFunc::Max => f32::NEG_INFINITY,
+        _ => 0.0,
+    }
+}
+
+fn accumulate(func: ReduceFunc, acc: f32, x: f32) -> f32 {
+    match func {
+        ReduceFunc::Sum | ReduceFunc::Mean => acc + x,
+        ReduceFunc::Max => acc.max(x),
+        ReduceFunc::Norm => acc + x * x,
+        _ => acc + x,
+    }
+}
+
+fn combine(func: ReduceFunc, a: f32, b: f32) -> f32 {
+    match func {
+        ReduceFunc::Max => a.max(b),
+        _ => a + b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd;
+    use nsflow_trace::OpKind;
+
+    #[test]
+    fn elementwise_cycles_match_analytical_model() {
+        for (elems, lanes, func) in [
+            (100usize, 16usize, EltFunc::Relu),
+            (1024, 64, EltFunc::Softmax),
+            (7, 8, EltFunc::Div),
+            (65, 64, EltFunc::Mul),
+        ] {
+            let inputs: Vec<f32> = (0..elems).map(|i| (i as f32 - 10.0) / 7.0).collect();
+            let sim = elementwise(&inputs, func, lanes);
+            let model = simd::op_cycles(&OpKind::Elementwise { elems, func }, lanes);
+            assert_eq!(sim.cycles, model, "elems={elems} lanes={lanes} {func:?}");
+            assert_eq!(sim.outputs.len(), elems);
+        }
+    }
+
+    #[test]
+    fn reduce_cycles_match_analytical_model() {
+        for (elems, lanes, func) in [
+            (100usize, 16usize, ReduceFunc::Sum),
+            (64, 64, ReduceFunc::Max),
+            (1000, 32, ReduceFunc::Norm),
+            (5, 8, ReduceFunc::Mean),
+        ] {
+            let inputs: Vec<f32> = (0..elems).map(|i| (i as f32 - 10.0) / 7.0).collect();
+            let sim = reduce(&inputs, func, lanes);
+            let model = simd::op_cycles(&OpKind::Reduce { elems, func }, lanes);
+            assert_eq!(sim.cycles, model, "elems={elems} lanes={lanes} {func:?}");
+        }
+    }
+
+    #[test]
+    fn reduce_sum_is_numerically_correct() {
+        let inputs: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let sim = reduce(&inputs, ReduceFunc::Sum, 16);
+        assert!((sim.outputs[0] - 5050.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn reduce_max_and_mean_and_norm() {
+        let inputs = vec![3.0, -1.0, 4.0, 1.0, -5.0, 9.0, 2.0, 6.0];
+        assert_eq!(reduce(&inputs, ReduceFunc::Max, 4).outputs[0], 9.0);
+        assert!((reduce(&inputs, ReduceFunc::Mean, 4).outputs[0] - 2.375).abs() < 1e-6);
+        let norm = reduce(&inputs, ReduceFunc::Norm, 4).outputs[0];
+        let expected: f32 = inputs.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn relu_clamps_negative_lanes() {
+        let sim = elementwise(&[-2.0, 0.5, -0.1, 3.0], EltFunc::Relu, 2);
+        assert_eq!(sim.outputs, vec![0.0, 0.5, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_beats_are_normalized() {
+        let sim = elementwise(&[1.0, 2.0, 3.0, 4.0], EltFunc::Softmax, 4);
+        let total: f32 = sim.outputs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(sim.outputs[3] > sim.outputs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one element")]
+    fn empty_input_rejected() {
+        let _ = elementwise(&[], EltFunc::Relu, 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks of the reproduction's hot kernels: the VSA
+//! circular-convolution paths (functional + microsimulated), the GEMM
+//! reference, the resonator, the dataflow-graph + DSE frontend and the
+//! cycle-level scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nsflow_arch::adarray::microsim;
+use nsflow_arch::{ArrayConfig, Mapping};
+use nsflow_dse::{explore, DseOptions};
+use nsflow_graph::DataflowGraph;
+use nsflow_nn::gemm;
+use nsflow_sim::schedule::{self, SimOptions};
+use nsflow_vsa::ops;
+use nsflow_vsa::resonator::{Resonator, ResonatorConfig};
+use nsflow_vsa::Codebook;
+use nsflow_workloads::traces;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn randvec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_vsa_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a256 = randvec(256, &mut rng);
+    let b256 = randvec(256, &mut rng);
+    let a1k = randvec(1024, &mut rng);
+    let b1k = randvec(1024, &mut rng);
+
+    c.bench_function("circular_convolve_d256", |b| {
+        b.iter(|| ops::circular_convolve(black_box(&a256), black_box(&b256)))
+    });
+    c.bench_function("circular_convolve_d1024", |b| {
+        b.iter(|| ops::circular_convolve(black_box(&a1k), black_box(&b1k)))
+    });
+    c.bench_function("circular_correlate_d256", |b| {
+        b.iter(|| ops::circular_correlate(black_box(&a256), black_box(&b256)))
+    });
+    c.bench_function("microsim_circ_conv_column_h64_d64", |b| {
+        let a = randvec(64, &mut rng);
+        let bb = randvec(64, &mut rng);
+        b.iter(|| microsim::circular_conv_column(64, black_box(&a), black_box(&bb)).unwrap())
+    });
+}
+
+fn bench_nn_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = randvec(128 * 128, &mut rng);
+    let b = randvec(128 * 128, &mut rng);
+    c.bench_function("gemm_matmul_128", |bch| {
+        bch.iter(|| gemm::matmul(black_box(&a), black_box(&b), 128, 128, 128))
+    });
+    c.bench_function("microsim_nn_layer_16x8x2_m32", |bch| {
+        let act = randvec(32 * 40, &mut rng);
+        let wt = randvec(40 * 24, &mut rng);
+        bch.iter(|| microsim::nn_layer(16, 8, 2, black_box(&act), black_box(&wt), 32, 40, 24).unwrap())
+    });
+}
+
+fn bench_resonator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let books: Vec<Codebook> =
+        (0..3).map(|_| Codebook::random_unitary(8, 4, 64, &mut rng)).collect();
+    let target = books[0]
+        .codeword(2)
+        .bind(books[1].codeword(5))
+        .unwrap()
+        .bind(books[2].codeword(1))
+        .unwrap();
+    let res = Resonator::new(books).unwrap();
+    c.bench_function("resonator_factorize_3x8_d256", |b| {
+        b.iter(|| res.factorize(black_box(&target), ResonatorConfig::default()).unwrap())
+    });
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let trace = traces::nvsa().trace;
+    c.bench_function("dataflow_graph_from_nvsa_trace", |b| {
+        b.iter(|| DataflowGraph::from_trace(black_box(trace.clone())))
+    });
+    let graph = DataflowGraph::from_trace(trace);
+    let opts = DseOptions::default();
+    c.bench_function("dse_explore_nvsa", |b| b.iter(|| explore(black_box(&graph), &opts)));
+
+    let result = explore(&graph, &opts);
+    let sim_opts = SimOptions { simd_lanes: 64, transfer: None };
+    c.bench_function("schedule_run_nvsa_8_loops", |b| {
+        b.iter(|| schedule::run(black_box(&graph), &result.config, &result.mapping, &sim_opts))
+    });
+
+    let cfg = ArrayConfig::new(16, 16, 4).unwrap();
+    let nn = graph.trace().nn_nodes().len();
+    let vsa = graph.trace().vsa_nodes().len();
+    let mapping = Mapping::uniform(nn, vsa, 3, 1);
+    c.bench_function("analytical_loop_timing_nvsa", |b| {
+        b.iter(|| nsflow_arch::analytical::loop_timing(black_box(&graph), &cfg, &mapping, 64))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vsa_kernels, bench_nn_kernels, bench_resonator, bench_frontend
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Extension experiment — datacenter vs edge deployment.
+//!
+//! The paper notes "NSFlow framework can be deployed on any type of FPGA
+//! board" but evaluates only the U250. This harness compiles every
+//! workload for both the U250 and the embedded ZCU104, comparing the
+//! DSE-chosen designs, utilization, latency and batch throughput.
+//!
+//! ```sh
+//! cargo run --release -p nsflow-bench --bin edge_deployment
+//! ```
+
+use nsflow_bench::{fmt_seconds, write_csv};
+use nsflow_core::{CompileError, NsFlow};
+use nsflow_fpga::FpgaDevice;
+use nsflow_workloads::traces;
+
+fn main() {
+    println!("Deployment portability — U250 (datacenter) vs ZCU104 (edge):\n");
+    println!(
+        "{:<10} {:<10} {:>12} {:>8} {:>7} {:>12} {:>14}",
+        "workload", "device", "AdArray", "PEs", "DSP", "latency", "throughput"
+    );
+    let mut rows = Vec::new();
+    for workload in traces::all() {
+        for device in [FpgaDevice::u250(), FpgaDevice::zcu104()] {
+            let short = if device.name().contains("U250") { "U250" } else { "ZCU104" };
+            match NsFlow::new().with_device(device).compile(workload.trace.clone()) {
+                Ok(design) => {
+                    let report = design.deploy().run();
+                    let batch = design.deploy().run_batch(16);
+                    println!(
+                        "{:<10} {:<10} {:>12} {:>8} {:>6.0}% {:>12} {:>11.1}/s",
+                        workload.name,
+                        short,
+                        design.array().to_string(),
+                        design.array().total_pes(),
+                        design.utilization.dsp_pct,
+                        fmt_seconds(report.seconds),
+                        batch.throughput_per_s
+                    );
+                    rows.push(format!(
+                        "{},{},{},{},{:.1},{},{:.2}",
+                        workload.name,
+                        short,
+                        design.array(),
+                        design.array().total_pes(),
+                        design.utilization.dsp_pct,
+                        report.seconds,
+                        batch.throughput_per_s
+                    ));
+                }
+                Err(CompileError::DeviceTooSmall(e)) => {
+                    println!("{:<10} {:<10} does not fit: {e}", workload.name, short);
+                    rows.push(format!("{},{},unfit,,,,", workload.name, short));
+                }
+                Err(e) => panic!("unexpected compile error: {e}"),
+            }
+        }
+    }
+    println!("\nthe DSE scales the same template down to the edge part: smaller arrays,");
+    println!("longer latency, but the full workload still deploys without manual work.");
+    write_csv(
+        "edge_deployment.csv",
+        "workload,device,array,pes,dsp_pct,latency_s,throughput_per_s",
+        &rows,
+    );
+}

@@ -1,0 +1,86 @@
+//! Fig. 5 — end-to-end runtime improvement: the NSFlow accelerator vs
+//! edge SoCs (Jetson TX2, Xavier NX), a Xeon CPU, an RTX 2080 Ti, a
+//! TPU-like 128×128 systolic array and a Xilinx-DPU-class engine, across
+//! six reasoning-task instances.
+//!
+//! ```sh
+//! cargo run --release -p nsflow-bench --bin fig5_speedup
+//! ```
+
+use nsflow_bench::{fmt_seconds, write_csv};
+use nsflow_core::NsFlow;
+use nsflow_sim::devices::{Device, DeviceModel, DpuLike, TpuLikeArray};
+use nsflow_trace::ExecutionTrace;
+use nsflow_workloads::traces;
+
+fn tasks() -> Vec<(&'static str, ExecutionTrace)> {
+    vec![
+        ("RAVEN (NVSA)", traces::nvsa().trace),
+        ("PGM (NVSA)", traces::nvsa_scaled_symbolic(4)),
+        ("CVR (MIMONet)", traces::mimonet().trace),
+        (
+            "SVRT (MIMONet)",
+            traces::mimonet().trace.with_loop_count(8).expect("nonzero loops"),
+        ),
+        ("SVRT (LVRF)", traces::lvrf().trace),
+        ("RAVEN (PrAE)", traces::prae().trace),
+    ]
+}
+
+fn main() {
+    let devices: Vec<Box<dyn DeviceModel>> = vec![
+        Box::new(Device::jetson_tx2()),
+        Box::new(Device::xavier_nx()),
+        Box::new(Device::xeon_cpu()),
+        Box::new(Device::rtx_2080_ti()),
+        Box::new(TpuLikeArray::new_128x128()),
+        Box::new(DpuLike::new_b4096()),
+    ];
+
+    println!("Fig. 5 — speedup of NSFlow over each baseline (higher is better):\n");
+    print!("{:<16} {:>12}", "task", "NSFlow");
+    for d in &devices {
+        print!(" {:>12}", shorten(d.name()));
+    }
+    println!();
+
+    let mut geo: Vec<f64> = vec![0.0; devices.len()];
+    let mut rows = Vec::new();
+    let task_list = tasks();
+    for (name, trace) in &task_list {
+        let design = NsFlow::new().compile(trace.clone()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ns = design.deploy().run().seconds;
+        print!("{:<16} {:>12}", name, fmt_seconds(ns));
+        let mut cells = vec![name.to_string(), format!("{ns}")];
+        for (i, d) in devices.iter().enumerate() {
+            let t = d.run(trace).total_seconds();
+            let speedup = t / ns;
+            geo[i] += speedup.ln();
+            print!(" {:>11.1}×", speedup);
+            cells.push(format!("{speedup:.2}"));
+        }
+        println!();
+        rows.push(cells.join(","));
+    }
+
+    print!("{:<16} {:>12}", "geomean", "");
+    let mut geo_cells = vec!["geomean".to_string(), String::new()];
+    for g in &mut geo {
+        *g = (*g / task_list.len() as f64).exp();
+        print!(" {:>11.1}×", g);
+        geo_cells.push(format!("{g:.2}"));
+    }
+    println!();
+    rows.push(geo_cells.join(","));
+
+    println!("\npaper shape: ~31× vs TX2, ~18× vs NX, >2× vs GPU, up to 8× vs TPU-like, >3× vs DPU");
+    write_csv(
+        "fig5_speedup.csv",
+        "task,nsflow_s,tx2_x,nx_x,xeon_x,rtx2080ti_x,tpu_like_x,dpu_x",
+        &rows,
+    );
+}
+
+fn shorten(name: &str) -> String {
+    name.chars().take(12).collect()
+}

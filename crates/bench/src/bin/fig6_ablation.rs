@@ -1,0 +1,179 @@
+//! Fig. 6 — ablation study: a fixed NSFlow-generated architecture
+//! (32×32×8) with and without the proposed mapping/hardware techniques,
+//! against a traditional systolic array of the same PE count, across
+//! workloads with varying vector-symbolic data proportions (ResNet-18 +
+//! scaled VSA stage).
+//!
+//! Variants:
+//! - **traditional SA**: one monolithic 128×64 array (same 8192 PEs), no
+//!   folding, no circular-convolution streaming — VSA ops lowered to
+//!   GEMMs against materialized circulants,
+//! - **Phase I** (array folding only): best *static* partition of the
+//!   32×32×8 AdArray,
+//! - **two-phase** (folding + Phase-II per-node mapping refinement).
+//!
+//! ```sh
+//! cargo run --release -p nsflow-bench --bin fig6_ablation
+//! ```
+
+use nsflow_arch::{analytical, ArrayConfig, Mapping};
+
+use nsflow_bench::write_csv;
+use nsflow_dse::{phase2, DseOptions};
+use nsflow_graph::DataflowGraph;
+use nsflow_sim::schedule::{self, SimOptions};
+use nsflow_trace::{ExecutionTrace, OpKind};
+use nsflow_workloads::traces;
+
+const SIMD_LANES: usize = 64;
+
+/// Cycles on the "normal TPU design": the same 8192 PEs permanently
+/// merged into one weight-stationary array — no folding, no
+/// circular-convolution streaming, no loop overlap. Circular convolutions
+/// are lowered to GEMMs against circulant matrices that an internal DMA
+/// engine materializes at 256 B/cycle (a generous 2048-bit on-chip bus);
+/// each bound pair needs its own circulant, so the materialized traffic
+/// is `n_vec·d²` bytes per kernel. Pointwise ops pipeline with the array
+/// (same vector unit both designs have) and contribute no serial time.
+fn traditional_sa_cycles(trace: &ExecutionTrace, cfg: &ArrayConfig) -> u64 {
+    let n = cfg.n_subarrays();
+    let mut per_loop = 0u64;
+    for op in trace.ops() {
+        per_loop += match *op.kind() {
+            OpKind::Gemm { m, n: on, k } => analytical::nn_layer_cycles(cfg, n, m, on, k),
+            OpKind::VsaConv { n_vec, dim } => {
+                let gemm = analytical::nn_layer_cycles(cfg, n, n_vec, dim, dim);
+                let circulant_bytes = (n_vec * dim * dim) as u64;
+                gemm + circulant_bytes.div_ceil(256)
+            }
+            _ => 0,
+        };
+    }
+    per_loop * trace.loop_count() as u64
+}
+
+/// Best static (Phase-I style) mapping of the fixed AdArray, selected by
+/// *scheduled* cycles (the pipelined steady state is what folding buys;
+/// Algorithm 1's analytical comparison is a lower-cost proxy for it).
+fn best_static_mapping(graph: &DataflowGraph, cfg: &ArrayConfig) -> Mapping {
+    let nn = graph.trace().nn_nodes().len();
+    let vsa = graph.trace().vsa_nodes().len();
+    let n = cfg.n_subarrays();
+    let mut best = Mapping::sequential(nn, vsa, n);
+    let mut best_t = scheduled_cycles(graph, cfg, &best);
+    if nn > 0 && vsa > 0 {
+        for nl in 1..n {
+            let m = Mapping::uniform(nn, vsa, nl, n - nl);
+            let t = scheduled_cycles(graph, cfg, &m);
+            if t < best_t {
+                best_t = t;
+                best = m;
+            }
+        }
+    }
+    best
+}
+
+fn scheduled_cycles(graph: &DataflowGraph, cfg: &ArrayConfig, mapping: &Mapping) -> u64 {
+    schedule::run_pooled(
+        graph,
+        cfg,
+        mapping,
+        &SimOptions { simd_lanes: SIMD_LANES, transfer: None },
+    )
+    .total_cycles()
+}
+
+/// Phase-II-style per-node refinement evaluated against the pooled
+/// scheduler: greedily adjust each node's sub-array allocation by ±1 and
+/// keep any move that shortens the schedule.
+fn refine_per_node(graph: &DataflowGraph, cfg: &ArrayConfig, start: &Mapping) -> Mapping {
+    let n = cfg.n_subarrays();
+    let mut best = start.clone();
+    let mut best_t = scheduled_cycles(graph, cfg, &best);
+    for _sweep in 0..6 {
+        let mut improved = false;
+        for field in 0..2 {
+            let len = if field == 0 { best.n_l.len() } else { best.n_v.len() };
+            for i in 0..len {
+                for delta in [1i64, -1] {
+                    let mut cand = best.clone();
+                    let slot =
+                        if field == 0 { &mut cand.n_l[i] } else { &mut cand.n_v[i] };
+                    let new = *slot as i64 + delta;
+                    if new < 1 || new > n as i64 {
+                        continue;
+                    }
+                    *slot = new as usize;
+                    let t = scheduled_cycles(graph, cfg, &cand);
+                    if t < best_t {
+                        best_t = t;
+                        best = cand;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+fn main() {
+    let cfg = ArrayConfig::new(32, 32, 8).expect("the paper's fig. 6 architecture");
+    let ratios = [0.005, 0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8];
+
+    println!("Fig. 6 — runtime on a 32×32×8 AdArray vs symbolic memory proportion:\n");
+    println!(
+        "{:>8} {:>9} {:>14} {:>13} {:>13} {:>9} {:>11}",
+        "target", "achieved", "trad. SA", "Phase I", "two-phase", "speedup", "P2 gain"
+    );
+
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        let (trace, achieved) = traces::nvsa_like_with_symbolic_ratio(ratio);
+        let baseline = traditional_sa_cycles(&trace, &cfg);
+        let graph = DataflowGraph::from_trace(trace);
+
+        let static_mapping = best_static_mapping(&graph, &cfg);
+        let p1_cycles = scheduled_cycles(&graph, &cfg, &static_mapping);
+
+        // Phase II: start from the analytical refinement (Algorithm 1),
+        // then the per-node pooled-objective polish.
+        let opts = DseOptions { iter_max: 16, simd_lanes: SIMD_LANES, ..DseOptions::default() };
+        let (alg1, _) = phase2(&graph, &cfg, &static_mapping, &opts);
+        let seed = if scheduled_cycles(&graph, &cfg, &alg1) <= p1_cycles {
+            alg1
+        } else {
+            static_mapping.clone()
+        };
+        let refined = refine_per_node(&graph, &cfg, &seed);
+        let p2_cycles = scheduled_cycles(&graph, &cfg, &refined);
+
+        let speedup = baseline as f64 / p2_cycles as f64;
+        let p2_gain = 100.0 * (p1_cycles as f64 - p2_cycles as f64) / p1_cycles as f64;
+        println!(
+            "{:>7.1}% {:>8.1}% {:>14} {:>13} {:>13} {:>8.2}× {:>10.1}%",
+            100.0 * ratio,
+            100.0 * achieved,
+            baseline,
+            p1_cycles,
+            p2_cycles,
+            speedup,
+            p2_gain
+        );
+        rows.push(format!(
+            "{ratio},{achieved:.4},{baseline},{p1_cycles},{p2_cycles},{speedup:.3},{p2_gain:.2}"
+        ));
+    }
+
+    println!("\npaper shape: slight overhead when symbolic <1%, speedup grows with symbolic");
+    println!("share (> 7× at 80% symbolic memory); Phase II adds up to ~44% near 20%.");
+    write_csv(
+        "fig6_ablation.csv",
+        "target_ratio,achieved_ratio,traditional_sa_cycles,phase1_cycles,two_phase_cycles,speedup,phase2_gain_pct",
+        &rows,
+    );
+}

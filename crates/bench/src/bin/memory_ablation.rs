@@ -1,0 +1,53 @@
+//! Extension experiment — re-organizable memory ablation.
+//!
+//! The paper argues its adaptive, double-buffered memory "eliminates
+//! unnecessary transactions and stalls" (Sec. V-A) but does not quantify
+//! it. This harness does: the same NVSA design runs with the double-
+//! buffered memory system and with a single-buffered baseline (every
+//! weight/vector load serializes with compute), across off-chip bandwidth
+//! levels.
+//!
+//! ```sh
+//! cargo run --release -p nsflow-bench --bin memory_ablation
+//! ```
+
+use nsflow_arch::memory::TransferModel;
+use nsflow_bench::write_csv;
+use nsflow_core::NsFlow;
+use nsflow_sim::schedule::SimOptions;
+use nsflow_workloads::traces;
+
+fn main() {
+    let workload = traces::nvsa();
+    let design = NsFlow::new().compile(workload.trace).expect("NVSA fits the U250");
+    let dep = design.deploy();
+    let lanes = design.config.simd_lanes;
+
+    println!("Re-organizable memory ablation — NVSA on the generated design:\n");
+    println!(
+        "{:>18} {:>16} {:>16} {:>10}",
+        "off-chip B/cycle", "double-buffered", "single-buffered", "stall cost"
+    );
+    let mut rows = Vec::new();
+    for bpc in [256.0f64, 64.0, 16.0, 4.0] {
+        let db = dep
+            .run_with(&SimOptions { simd_lanes: lanes, transfer: Some(TransferModel::new(bpc)) });
+        let sb = dep.run_with(&SimOptions {
+            simd_lanes: lanes,
+            transfer: Some(TransferModel::single_buffered(bpc)),
+        });
+        let overhead = 100.0 * (sb.cycles as f64 - db.cycles as f64) / db.cycles as f64;
+        println!(
+            "{bpc:>18} {:>16} {:>16} {:>9.1}%",
+            db.cycles, sb.cycles, overhead
+        );
+        rows.push(format!("{bpc},{},{},{overhead:.2}", db.cycles, sb.cycles));
+    }
+    println!("\ndouble buffering hides loads behind compute; the gap widens as off-chip");
+    println!("bandwidth shrinks — the regime FPGAs actually operate in.");
+    write_csv(
+        "memory_ablation.csv",
+        "bytes_per_cycle,double_buffered_cycles,single_buffered_cycles,overhead_pct",
+        &rows,
+    );
+}

@@ -1,0 +1,78 @@
+//! Extension experiment — why NVSA's sparse block codes quantize so well.
+//!
+//! Runs the RPM reasoning pipeline twice over the same tasks: once with
+//! dense unitary codes (the general VSA family, `crates/workloads/
+//! reasoning.rs`) and once with sparse one-hot-per-block codes (NVSA's
+//! family, `sparse_reasoning.rs`), sweeping the perception precision.
+//! Sparse codes only need each block's argmax to survive quantization, so
+//! their INT4 column barely moves — the structural reason behind the
+//! paper's near-lossless MP/INT4 symbolic quantization.
+//!
+//! ```sh
+//! cargo run --release -p nsflow-bench --bin sparse_robustness
+//! ```
+
+use nsflow_bench::write_csv;
+use nsflow_tensor::DType;
+use nsflow_workloads::raven::{generate, TaskParams};
+use nsflow_workloads::reasoning::{PipelineConfig, VsaReasoner};
+use nsflow_workloads::sparse_reasoning::{SparsePipelineConfig, SparseReasoner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TASKS: usize = 100;
+const AMBIGUITY: f32 = 0.11;
+
+fn dense_accuracy(dtype: DType, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = PipelineConfig {
+        noise_std: 0.01,
+        ambiguity_std: AMBIGUITY,
+        neural_dtype: dtype,
+        symbolic_dtype: dtype,
+        ..PipelineConfig::default()
+    };
+    let reasoner = VsaReasoner::new(3, 8, cfg, &mut rng);
+    let mut ok = 0;
+    for _ in 0..TASKS {
+        let t = generate(&TaskParams::default(), &mut rng);
+        if reasoner.solve(&t, &mut rng) == t.answer {
+            ok += 1;
+        }
+    }
+    ok as f64 / TASKS as f64
+}
+
+fn sparse_accuracy(dtype: DType, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = SparsePipelineConfig {
+        noise_std: 0.05,
+        ambiguity_std: AMBIGUITY,
+        dtype,
+        ..SparsePipelineConfig::default()
+    };
+    let reasoner = SparseReasoner::new(3, 8, cfg, &mut rng);
+    let mut ok = 0;
+    for _ in 0..TASKS {
+        let t = generate(&TaskParams::default(), &mut rng);
+        if reasoner.solve(&t, &mut rng) == t.answer {
+            ok += 1;
+        }
+    }
+    ok as f64 / TASKS as f64
+}
+
+fn main() {
+    println!("Code-family quantization robustness — RAVEN-like, {TASKS} tasks per cell:\n");
+    println!("{:>8} {:>16} {:>16}", "dtype", "dense unitary", "sparse one-hot");
+    let mut rows = Vec::new();
+    for dtype in [DType::Fp32, DType::Int8, DType::Int4] {
+        let dense = dense_accuracy(dtype, 17);
+        let sparse = sparse_accuracy(dtype, 17);
+        println!("{:>8} {:>15.1}% {:>15.1}%", dtype.to_string(), 100.0 * dense, 100.0 * sparse);
+        rows.push(format!("{dtype},{dense:.4},{sparse:.4}"));
+    }
+    println!("\nsparse block codes keep their accuracy at INT4 because quantization only");
+    println!("has to preserve each block's argmax — the property NVSA's design relies on.");
+    write_csv("sparse_robustness.csv", "dtype,dense_accuracy,sparse_accuracy", &rows);
+}

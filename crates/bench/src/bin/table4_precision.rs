@@ -1,0 +1,86 @@
+//! Tab. IV — NSFlow algorithm-optimization performance: reasoning accuracy
+//! of the executable VSA pipeline across precisions on the three synthetic
+//! suites, plus the model memory row.
+//!
+//! ```sh
+//! cargo run --release -p nsflow-bench --bin table4_precision
+//! ```
+
+use nsflow_bench::write_csv;
+use nsflow_workloads::accuracy::{evaluate, model_memory_bytes, EvalConfig, Precision};
+use nsflow_workloads::suites::Suite;
+use nsflow_workloads::traces;
+
+/// The paper's Tab. IV reference values (percent).
+fn paper_accuracy(suite: Suite, label: &str) -> f64 {
+    match (suite, label) {
+        (Suite::RavenLike, "FP32") => 98.9,
+        (Suite::RavenLike, "FP16") => 98.9,
+        (Suite::RavenLike, "INT8") => 98.7,
+        (Suite::RavenLike, "MP") => 98.0,
+        (Suite::RavenLike, "INT4") => 92.5,
+        (Suite::IRavenLike, "FP32") => 99.0,
+        (Suite::IRavenLike, "FP16") => 98.9,
+        (Suite::IRavenLike, "INT8") => 98.8,
+        (Suite::IRavenLike, "MP") => 98.1,
+        (Suite::IRavenLike, "INT4") => 91.3,
+        (Suite::PgmLike, "FP32") => 68.7,
+        (Suite::PgmLike, "FP16") => 68.6,
+        (Suite::PgmLike, "INT8") => 68.4,
+        (Suite::PgmLike, "MP") => 67.4,
+        (Suite::PgmLike, "INT4") => 59.9,
+        _ => f64::NAN,
+    }
+}
+
+fn main() {
+    let cfg = EvalConfig { tasks: 200 };
+    let columns = Precision::table4_columns();
+
+    println!("Tab. IV — reasoning accuracy, {} tasks per cell (ours / paper):\n", cfg.tasks);
+    print!("{:<14}", "suite");
+    for p in &columns {
+        print!(" {:>16}", p.label);
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    for suite in Suite::all() {
+        print!("{:<14}", suite.name());
+        let mut cells = vec![suite.name().to_string()];
+        for p in &columns {
+            let report = evaluate(suite, *p, &cfg, 2025);
+            let ours = 100.0 * report.accuracy;
+            let theirs = paper_accuracy(suite, p.label);
+            print!(" {:>7.1}% /{:>5.1}%", ours, theirs);
+            cells.push(format!("{ours:.2}"));
+        }
+        println!();
+        rows.push(cells.join(","));
+    }
+
+    // Memory row: the NVSA workload model's footprint per precision.
+    let w = traces::nvsa();
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+    print!("{:<14}", "memory (MB)");
+    let mut mem_cells = vec!["memory_mb".to_string()];
+    for p in &columns {
+        let m = mb(model_memory_bytes(w.nn_params, w.symbolic_elems, *p));
+        print!(" {:>16.1}", m);
+        mem_cells.push(format!("{m:.2}"));
+    }
+    println!();
+    let fp32 = model_memory_bytes(w.nn_params, w.symbolic_elems, Precision::fp32());
+    let mp = model_memory_bytes(w.nn_params, w.symbolic_elems, Precision::mixed());
+    println!(
+        "\nmixed precision memory saving: {:.1}× (paper: 5.8×, 32 MB → 5.5 MB)",
+        fp32 as f64 / mp as f64
+    );
+    rows.push(mem_cells.join(","));
+
+    write_csv(
+        "table4_precision.csv",
+        "suite,fp32,fp16,int8,mp,int4",
+        &rows,
+    );
+}

@@ -1,0 +1,197 @@
+//! Phase I of Algorithm 1: hardware-configuration search under a static
+//! partition.
+
+use nsflow_arch::{analytical, ArrayConfig, Mapping};
+use nsflow_graph::DataflowGraph;
+
+use crate::DseOptions;
+
+/// Phase-I outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase1Result {
+    /// Best `(H, W, N)` found.
+    pub config: ArrayConfig,
+    /// Static mapping at that point (uniform `N̄_l`/`N̄_v`, or sequential).
+    pub mapping: Mapping,
+    /// Timing under the chosen mapping.
+    pub timing: analytical::LoopTiming,
+    /// Number of `(H, W, N̄_l)` points evaluated.
+    pub points_evaluated: usize,
+}
+
+/// Runs Phase I: for every pruned `(H, W)` pair, derive `N = ⌊M/(H·W)⌋`
+/// and sweep the static split `N̄_l ∈ [1, N)`; also evaluate the
+/// sequential (whole-array, time-shared) mode and keep whichever wins.
+///
+/// Workloads with no NN nodes or no VSA nodes skip the split sweep and
+/// use sequential mode directly (there is nothing to run concurrently).
+///
+/// # Panics
+///
+/// Panics if no candidate `(H, W)` fits the PE budget.
+#[must_use]
+pub fn phase1(graph: &DataflowGraph, options: &DseOptions) -> Phase1Result {
+    let trace = graph.trace();
+    let nn_count = trace.nn_nodes().len();
+    let vsa_count = trace.vsa_nodes().len();
+    let (ar_min, ar_max) = options.aspect_bounds;
+
+    let mut best: Option<Phase1Result> = None;
+    let mut points = 0usize;
+
+    for &h in &options.heights {
+        for &w in &options.widths {
+            if h * w > options.max_pes {
+                continue;
+            }
+            let aspect = h as f64 / w as f64;
+            if !(ar_min..=ar_max).contains(&aspect) {
+                continue;
+            }
+            let n = (options.max_pes / (h * w)).min(options.max_subarrays);
+            if n == 0 {
+                continue;
+            }
+            let cfg = ArrayConfig::new(h, w, n).expect("nonzero dims by construction");
+
+            // Parallel mode: sweep the static split when both kinds exist.
+            if nn_count > 0 && vsa_count > 0 && n >= 2 {
+                for nl in 1..n {
+                    let nv = n - nl;
+                    let mapping = Mapping::uniform(nn_count, vsa_count, nl, nv);
+                    let timing =
+                        analytical::loop_timing(graph, &cfg, &mapping, options.simd_lanes);
+                    points += 1;
+                    if best.as_ref().is_none_or(|b| timing.t_loop < b.timing.t_loop) {
+                        best = Some(Phase1Result {
+                            config: cfg,
+                            mapping,
+                            timing,
+                            points_evaluated: 0,
+                        });
+                    }
+                }
+            }
+
+            // Sequential mode (line 12 of Algorithm 1): every node gets the
+            // whole array in turn.
+            let seq = Mapping::sequential(nn_count, vsa_count, n);
+            let seq_timing = analytical::loop_timing(graph, &cfg, &seq, options.simd_lanes);
+            points += 1;
+            if best.as_ref().is_none_or(|b| seq_timing.t_loop < b.timing.t_loop) {
+                best = Some(Phase1Result {
+                    config: cfg,
+                    mapping: seq,
+                    timing: seq_timing,
+                    points_evaluated: 0,
+                });
+            }
+        }
+    }
+
+    let mut result = best.expect("at least one candidate configuration must fit the PE budget");
+    result.points_evaluated = points;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsflow_tensor::DType;
+    use nsflow_trace::{Domain, OpKind, TraceBuilder};
+
+    fn graph() -> DataflowGraph {
+        let mut b = TraceBuilder::new("g");
+        let c = b.push(
+            "conv",
+            OpKind::Gemm { m: 1024, n: 128, k: 256 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let _v = b.push(
+            "bind",
+            OpKind::VsaConv { n_vec: 32, dim: 1024 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[c],
+        );
+        DataflowGraph::from_trace(b.finish(4).unwrap())
+    }
+
+    #[test]
+    fn finds_config_within_budget() {
+        let r = phase1(&graph(), &DseOptions::default());
+        assert!(r.config.total_pes() <= 8192);
+        assert!(r.points_evaluated > 0);
+    }
+
+    #[test]
+    fn pruning_reduces_points() {
+        let opts = DseOptions::default();
+        let loose = DseOptions { aspect_bounds: (0.001, 1000.0), ..opts.clone() };
+        let strict = DseOptions { aspect_bounds: (1.0, 1.0), ..opts };
+        let g = graph();
+        let p_loose = phase1(&g, &loose).points_evaluated;
+        let p_strict = phase1(&g, &strict).points_evaluated;
+        assert!(p_strict < p_loose);
+    }
+
+    #[test]
+    fn pure_nn_workload_uses_sequential_mode() {
+        let mut b = TraceBuilder::new("nn");
+        b.push(
+            "conv",
+            OpKind::Gemm { m: 512, n: 64, k: 64 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let g = DataflowGraph::from_trace(b.finish(1).unwrap());
+        let r = phase1(&g, &DseOptions::default());
+        assert!(!r.mapping.parallel);
+        assert!(r.mapping.n_v.is_empty());
+    }
+
+    #[test]
+    fn pure_vsa_workload_uses_sequential_mode() {
+        let mut b = TraceBuilder::new("vsa");
+        b.push(
+            "bind",
+            OpKind::VsaConv { n_vec: 8, dim: 512 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[],
+        );
+        let g = DataflowGraph::from_trace(b.finish(1).unwrap());
+        let r = phase1(&g, &DseOptions::default());
+        assert!(!r.mapping.parallel);
+        assert!(r.mapping.n_l.is_empty());
+    }
+
+    #[test]
+    fn static_mapping_is_uniform() {
+        let r = phase1(&graph(), &DseOptions::default());
+        if r.mapping.parallel {
+            assert!(r.mapping.n_l.windows(2).all(|w| w[0] == w[1]));
+            assert!(r.mapping.n_v.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn result_beats_naive_single_subarray_square() {
+        // The searched config should be at least as good as an arbitrary
+        // fixed point like 64×64×2 with a 1:1 split.
+        let g = graph();
+        let opts = DseOptions::default();
+        let r = phase1(&g, &opts);
+        let naive_cfg = ArrayConfig::new(64, 64, 2).unwrap();
+        let naive = analytical::loop_timing(
+            &g,
+            &naive_cfg,
+            &Mapping::uniform(1, 1, 1, 1),
+            opts.simd_lanes,
+        );
+        assert!(r.timing.t_loop <= naive.t_loop);
+    }
+}

@@ -1,0 +1,237 @@
+//! Phase II of Algorithm 1: per-node mapping refinement.
+//!
+//! Starting from the Phase-I static partition, each sweep walks the NN
+//! layers in order. For layer `i` it locates the VSA nodes `j′..j″` that
+//! execute concurrently with it (the layer's *span* in the dataflow
+//! graph), then shifts one sub-array between the layer and its span
+//! toward whichever side is currently the bottleneck. The best mapping
+//! seen across all sweeps is returned; search granularity is one NN layer
+//! (VSA kernels being smaller and more malleable, per the paper).
+
+use nsflow_arch::{analytical, ArrayConfig, Mapping};
+use nsflow_graph::DataflowGraph;
+
+use crate::DseOptions;
+
+/// The VSA nodes overlapping NN layer `layer_idx` in depth order: those
+/// whose dependency depth lies in `[depth(layer i), depth(layer i+1))`
+/// (until the end of the loop for the last layer). Returns indices into
+/// the trace's `vsa_nodes()` list.
+#[must_use]
+pub fn vsa_span_of_layer(graph: &DataflowGraph, layer_idx: usize) -> Vec<usize> {
+    let trace = graph.trace();
+    let nn = trace.nn_nodes();
+    let vsa = trace.vsa_nodes();
+    if nn.is_empty() || vsa.is_empty() || layer_idx >= nn.len() {
+        return Vec::new();
+    }
+    let start_depth = graph.depth(nn[layer_idx]);
+    let end_depth = nn.get(layer_idx + 1).map(|id| graph.depth(*id));
+    let in_span: Vec<usize> = vsa
+        .iter()
+        .enumerate()
+        .filter(|(_, id)| {
+            let d = graph.depth(**id);
+            d >= start_depth && end_depth.is_none_or(|e| d < e)
+        })
+        .map(|(j, _)| j)
+        .collect();
+    if in_span.is_empty() {
+        // No VSA node shares the layer's window; balance against the whole
+        // VSA set instead (they still contend for sub-arrays across the
+        // pipelined loop).
+        (0..vsa.len()).collect()
+    } else {
+        in_span
+    }
+}
+
+/// Runs Phase II, returning the refined mapping and the number of sweeps
+/// executed. Sequential Phase-I results are returned unchanged — there is
+/// no partition to refine.
+#[must_use]
+pub fn phase2(
+    graph: &DataflowGraph,
+    config: &ArrayConfig,
+    start: &Mapping,
+    options: &DseOptions,
+) -> (Mapping, usize) {
+    if !start.parallel || start.n_l.is_empty() || start.n_v.is_empty() {
+        return (start.clone(), 0);
+    }
+    let trace = graph.trace();
+    let vsa_nodes = trace.vsa_nodes();
+    let n = config.n_subarrays();
+
+    let mut current = start.clone();
+    let mut best = start.clone();
+    let mut best_time =
+        analytical::loop_timing(graph, config, &best, options.simd_lanes).t_loop;
+    let mut sweeps = 0usize;
+
+    for _ in 0..options.iter_max {
+        sweeps += 1;
+        let mut changed = false;
+        for layer in 0..current.n_l.len() {
+            let span = vsa_span_of_layer(graph, layer);
+            if span.is_empty() {
+                continue;
+            }
+            let timing = analytical::loop_timing(graph, config, &current, options.simd_lanes);
+            // Shift one sub-array toward the bottleneck partition.
+            let mut candidate = current.clone();
+            if timing.t_nn >= timing.t_vsa {
+                // NN is the bottleneck: take one sub-array from each span
+                // node that can spare it and give it to this layer.
+                if span.iter().all(|&j| candidate.n_v[j] > 1)
+                    && layer_headroom(&candidate, layer, &span, n)
+                {
+                    candidate.n_l[layer] += 1;
+                    for &j in &span {
+                        candidate.n_v[j] -= 1;
+                    }
+                } else {
+                    continue;
+                }
+            } else {
+                // VSA is the bottleneck: donate one sub-array from the layer.
+                if candidate.n_l[layer] > 1
+                    && span.iter().all(|&j| candidate.n_v[j] + candidate.n_l[layer] - 1 <= n)
+                {
+                    candidate.n_l[layer] -= 1;
+                    for &j in &span {
+                        candidate.n_v[j] += 1;
+                    }
+                } else {
+                    continue;
+                }
+            }
+            if candidate
+                .validate(config, current.n_l.len(), vsa_nodes.len())
+                .is_err()
+            {
+                continue;
+            }
+            let cand_time =
+                analytical::loop_timing(graph, config, &candidate, options.simd_lanes).t_loop;
+            if cand_time < best_time {
+                best_time = cand_time;
+                best = candidate.clone();
+                current = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (best, sweeps)
+}
+
+/// Whether giving layer `layer` one more sub-array keeps every concurrent
+/// pair within the array.
+fn layer_headroom(mapping: &Mapping, layer: usize, span: &[usize], n: usize) -> bool {
+    let new_l = mapping.n_l[layer] + 1;
+    span.iter().all(|&j| new_l + mapping.n_v[j].saturating_sub(1) <= n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsflow_tensor::DType;
+    use nsflow_trace::{Domain, OpKind, TraceBuilder};
+
+    /// Two NN layers of very different weight and a VSA tail: the uniform
+    /// split is suboptimal, so Phase II has something to gain.
+    fn lopsided_graph() -> DataflowGraph {
+        let mut b = TraceBuilder::new("lopsided");
+        let c1 = b.push(
+            "conv_heavy",
+            OpKind::Gemm { m: 4096, n: 512, k: 512 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let v1 = b.push(
+            "bind_light",
+            OpKind::VsaConv { n_vec: 4, dim: 256 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[c1],
+        );
+        let c2 = b.push(
+            "conv_light",
+            OpKind::Gemm { m: 64, n: 32, k: 32 },
+            Domain::Neural,
+            DType::Int8,
+            &[v1],
+        );
+        let _v2 = b.push(
+            "bind_heavy",
+            OpKind::VsaConv { n_vec: 128, dim: 2048 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[c2],
+        );
+        DataflowGraph::from_trace(b.finish(4).unwrap())
+    }
+
+    #[test]
+    fn span_partitions_vsa_nodes_by_depth() {
+        let g = lopsided_graph();
+        // Layer 0 (conv_heavy, depth 0) spans bind_light (depth 1);
+        // layer 1 (conv_light, depth 2) spans bind_heavy (depth 3).
+        assert_eq!(vsa_span_of_layer(&g, 0), vec![0]);
+        assert_eq!(vsa_span_of_layer(&g, 1), vec![1]);
+        assert!(vsa_span_of_layer(&g, 9).is_empty());
+    }
+
+    #[test]
+    fn phase2_improves_or_preserves_uniform_start() {
+        let g = lopsided_graph();
+        let cfg = ArrayConfig::new(16, 16, 8).unwrap();
+        let opts = DseOptions::default();
+        let start = Mapping::uniform(2, 2, 4, 4);
+        let start_time = analytical::loop_timing(&g, &cfg, &start, opts.simd_lanes).t_loop;
+        let (refined, sweeps) = phase2(&g, &cfg, &start, &opts);
+        let refined_time = analytical::loop_timing(&g, &cfg, &refined, opts.simd_lanes).t_loop;
+        assert!(refined_time <= start_time, "{refined_time} > {start_time}");
+        assert!(sweeps >= 1);
+        refined.validate(&cfg, 2, 2).unwrap();
+    }
+
+    #[test]
+    fn phase2_gains_on_lopsided_workload() {
+        let g = lopsided_graph();
+        let cfg = ArrayConfig::new(16, 16, 8).unwrap();
+        let opts = DseOptions::default();
+        let start = Mapping::uniform(2, 2, 4, 4);
+        let start_time = analytical::loop_timing(&g, &cfg, &start, opts.simd_lanes).t_loop;
+        let (refined, _) = phase2(&g, &cfg, &start, &opts);
+        let refined_time = analytical::loop_timing(&g, &cfg, &refined, opts.simd_lanes).t_loop;
+        assert!(
+            refined_time < start_time,
+            "expected strict improvement on a lopsided workload"
+        );
+    }
+
+    #[test]
+    fn sequential_start_is_returned_unchanged() {
+        let g = lopsided_graph();
+        let cfg = ArrayConfig::new(16, 16, 8).unwrap();
+        let start = Mapping::sequential(2, 2, 8);
+        let (out, sweeps) = phase2(&g, &cfg, &start, &DseOptions::default());
+        assert_eq!(out, start);
+        assert_eq!(sweeps, 0);
+    }
+
+    #[test]
+    fn refined_mapping_entries_stay_positive() {
+        let g = lopsided_graph();
+        let cfg = ArrayConfig::new(8, 8, 4).unwrap();
+        let start = Mapping::uniform(2, 2, 2, 2);
+        let (out, _) = phase2(&g, &cfg, &start, &DseOptions::default());
+        assert!(out.n_l.iter().all(|&x| x >= 1));
+        assert!(out.n_v.iter().all(|&x| x >= 1));
+    }
+}

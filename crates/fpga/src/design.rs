@@ -1,0 +1,283 @@
+//! Design-configuration and host-schedule emission.
+//!
+//! In the paper, the frontend emits (a) a *design configuration file* that
+//! parameterizes the pre-defined RTL template before synthesis and (b)
+//! *host code* that schedules accelerator kernels through the XRT API.
+//! This module emits both as deterministic text artifacts: the config in a
+//! `key = value` format that round-trips through [`DesignConfig::parse`],
+//! and the host schedule as an ordered kernel-invocation script.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nsflow_arch::memory::MemoryPlan;
+use nsflow_arch::{ArrayConfig, Mapping, PrecisionConfig};
+use nsflow_graph::DataflowGraph;
+use nsflow_tensor::DType;
+use nsflow_trace::OpKind;
+
+/// The complete parameterization of one NSFlow deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignConfig {
+    /// Workload name the design was generated for.
+    pub workload: String,
+    /// AdArray geometry.
+    pub array: ArrayConfig,
+    /// Default partition `(N̄_l, N̄_v)` programmed at reset.
+    pub default_partition: (usize, usize),
+    /// SIMD lane count.
+    pub simd_lanes: usize,
+    /// Planned memory block sizes.
+    pub memory: MemoryPlan,
+    /// Execution precisions.
+    pub precision: PrecisionConfig,
+    /// Target clock, Hz.
+    pub freq_hz: f64,
+}
+
+impl DesignConfig {
+    /// Renders the config file text.
+    #[must_use]
+    pub fn to_config_text(&self) -> String {
+        format!(
+            "# NSFlow design configuration (generated)\n\
+             workload = {}\n\
+             array.height = {}\n\
+             array.width = {}\n\
+             array.subarrays = {}\n\
+             partition.nn = {}\n\
+             partition.vsa = {}\n\
+             simd.lanes = {}\n\
+             mem.a1_bytes = {}\n\
+             mem.a2_bytes = {}\n\
+             mem.b_bytes = {}\n\
+             mem.c_bytes = {}\n\
+             mem.cache_bytes = {}\n\
+             precision.neural = {}\n\
+             precision.symbolic = {}\n\
+             clock.freq_hz = {}\n",
+            self.workload,
+            self.array.height(),
+            self.array.width(),
+            self.array.n_subarrays(),
+            self.default_partition.0,
+            self.default_partition.1,
+            self.simd_lanes,
+            self.memory.mem_a1,
+            self.memory.mem_a2,
+            self.memory.mem_b,
+            self.memory.mem_c,
+            self.memory.cache,
+            self.precision.neural,
+            self.precision.symbolic,
+            self.freq_hz,
+        )
+    }
+
+    /// Parses a config file produced by [`Self::to_config_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseDesignError`] describing the missing or malformed
+    /// key.
+    pub fn parse(text: &str) -> Result<Self, ParseDesignError> {
+        let mut kv = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| ParseDesignError(format!("malformed line: {line}")))?;
+            kv.insert(k.trim().to_string(), v.trim().to_string());
+        }
+        let get = |key: &str| -> Result<String, ParseDesignError> {
+            kv.get(key).cloned().ok_or_else(|| ParseDesignError(format!("missing key {key}")))
+        };
+        let num = |key: &str| -> Result<usize, ParseDesignError> {
+            get(key)?.parse().map_err(|_| ParseDesignError(format!("non-numeric {key}")))
+        };
+        let dtype = |key: &str| -> Result<DType, ParseDesignError> {
+            match get(key)?.as_str() {
+                "INT4" => Ok(DType::Int4),
+                "INT8" => Ok(DType::Int8),
+                "FP16" => Ok(DType::Fp16),
+                "FP32" => Ok(DType::Fp32),
+                other => Err(ParseDesignError(format!("unknown precision {other}"))),
+            }
+        };
+        let array = ArrayConfig::new(
+            num("array.height")?,
+            num("array.width")?,
+            num("array.subarrays")?,
+        )
+        .map_err(|e| ParseDesignError(e.to_string()))?;
+        Ok(DesignConfig {
+            workload: get("workload")?,
+            array,
+            default_partition: (num("partition.nn")?, num("partition.vsa")?),
+            simd_lanes: num("simd.lanes")?,
+            memory: MemoryPlan {
+                mem_a1: num("mem.a1_bytes")?,
+                mem_a2: num("mem.a2_bytes")?,
+                mem_b: num("mem.b_bytes")?,
+                mem_c: num("mem.c_bytes")?,
+                cache: num("mem.cache_bytes")?,
+            },
+            precision: PrecisionConfig {
+                neural: dtype("precision.neural")?,
+                symbolic: dtype("precision.symbolic")?,
+            },
+            freq_hz: get("clock.freq_hz")?
+                .parse()
+                .map_err(|_| ParseDesignError("non-numeric clock.freq_hz".into()))?,
+        })
+    }
+}
+
+/// Error from [`DesignConfig::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDesignError(String);
+
+impl fmt::Display for ParseDesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "design config parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDesignError {}
+
+/// Emits the host kernel schedule (the XRT host-code analog): one line
+/// per kernel invocation of one loop iteration, with fold/reconfigure
+/// commands whenever the partition a node needs differs from the previous
+/// one.
+#[must_use]
+pub fn host_schedule(graph: &DataflowGraph, mapping: &Mapping) -> String {
+    let trace = graph.trace();
+    let nn_nodes = trace.nn_nodes();
+    let vsa_nodes = trace.vsa_nodes();
+    let nn_index: HashMap<_, _> = nn_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let vsa_index: HashMap<_, _> =
+        vsa_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "// host schedule for {} ({} loops, {} mode)\n",
+        trace.name(),
+        trace.loop_count(),
+        if mapping.parallel { "parallel" } else { "sequential" }
+    ));
+    let mut last_fold: Option<(usize, usize)> = None;
+    for op in trace.ops() {
+        let (engine, fold) = match op.kind() {
+            OpKind::Gemm { .. } => {
+                let nl = mapping.n_l[nn_index[&op.id()]];
+                ("adarray.nn", Some((nl, 0)))
+            }
+            OpKind::VsaConv { .. } => {
+                let nv = mapping.n_v[vsa_index[&op.id()]];
+                ("adarray.vsa", Some((0, nv)))
+            }
+            _ => ("simd", None),
+        };
+        if let Some((nl, nv)) = fold {
+            if last_fold != Some((nl, nv)) {
+                out.push_str(&format!("fold(nn={nl}, vsa={nv})\n"));
+                last_fold = Some((nl, nv));
+            }
+        }
+        let deps: Vec<String> = op.inputs().iter().map(|d| format!("%{}", d.index())).collect();
+        out.push_str(&format!(
+            "launch {engine} kernel={} deps=[{}]\n",
+            op.name(),
+            deps.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsflow_trace::{Domain, TraceBuilder};
+
+    fn config() -> DesignConfig {
+        DesignConfig {
+            workload: "nvsa".into(),
+            array: ArrayConfig::new(32, 16, 16).unwrap(),
+            default_partition: (14, 2),
+            simd_lanes: 64,
+            memory: MemoryPlan {
+                mem_a1: 2_831_155,
+                mem_a2: 1_153_433,
+                mem_b: 2_831_155,
+                mem_c: 1_677_721,
+                cache: 16_986_931,
+            },
+            precision: PrecisionConfig::mixed(),
+            freq_hz: 272.0e6,
+        }
+    }
+
+    #[test]
+    fn config_text_round_trips() {
+        let cfg = config();
+        let text = cfg.to_config_text();
+        let parsed = DesignConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn parse_reports_missing_keys() {
+        let err = DesignConfig::parse("workload = x\n").unwrap_err();
+        assert!(err.to_string().contains("missing key"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let err = DesignConfig::parse("not a key value line\n").unwrap_err();
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_precision() {
+        let text = config().to_config_text().replace("INT4", "INT3");
+        assert!(DesignConfig::parse(&text).is_err());
+    }
+
+    #[test]
+    fn host_schedule_lists_every_op_and_folds() {
+        let mut b = TraceBuilder::new("w");
+        let c = b.push(
+            "conv1",
+            OpKind::Gemm { m: 64, n: 16, k: 16 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let v = b.push(
+            "bind1",
+            OpKind::VsaConv { n_vec: 4, dim: 64 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[c],
+        );
+        let _s = b.push(
+            "sum1",
+            OpKind::Reduce { elems: 256, func: nsflow_trace::ReduceFunc::Sum },
+            Domain::Symbolic,
+            DType::Int4,
+            &[v],
+        );
+        let g = DataflowGraph::from_trace(b.finish(2).unwrap());
+        let m = Mapping::uniform(1, 1, 3, 1);
+        let sched = host_schedule(&g, &m);
+        assert!(sched.contains("launch adarray.nn kernel=conv1"));
+        assert!(sched.contains("launch adarray.vsa kernel=bind1"));
+        assert!(sched.contains("launch simd kernel=sum1"));
+        assert!(sched.contains("fold(nn=3, vsa=0)"));
+        assert!(sched.contains("fold(nn=0, vsa=1)"));
+        assert!(sched.contains("deps=[%1]"));
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Error type for FPGA deployment modeling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// A design asks for more of a resource than the device has.
+    ResourceOverflow {
+        /// Resource name (DSP, LUT, FF, BRAM, URAM, LUTRAM).
+        resource: String,
+        /// Amount required.
+        required: u64,
+        /// Amount available on the device.
+        available: u64,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::ResourceOverflow { resource, required, available } => write!(
+                f,
+                "design requires {required} {resource} but the device provides {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FpgaError>();
+    }
+
+    #[test]
+    fn display_mentions_resource() {
+        let e = FpgaError::ResourceOverflow {
+            resource: "DSP".into(),
+            required: 100,
+            available: 50,
+        };
+        assert!(e.to_string().contains("DSP"));
+    }
+}

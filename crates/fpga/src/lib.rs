@@ -1,0 +1,44 @@
+//! # nsflow-fpga
+//!
+//! FPGA deployment model for the NSFlow backend: a device catalog, a
+//! resource-estimation model calibrated against the paper's Tab. III
+//! (AMD U250 deployments of NVSA/MIMONet/LVRF), and the design-config /
+//! host-schedule emission that stands in for the paper's RTL
+//! parameterization + XRT host code.
+//!
+//! The resource model's per-PE constants are *calibrated*, not invented:
+//! they are fit so that the paper's own `(H, W, N)` + memory-plan points
+//! land on the utilization percentages Tab. III reports (see
+//! [`resources`] for the constants and the fit), then validated in tests
+//! at those three points. BRAM/URAM accounting follows the paper's block
+//! units (18 KB BRAM blocks, 288 KB URAM blocks).
+//!
+//! # Examples
+//!
+//! ```
+//! use nsflow_fpga::{FpgaDevice, resources::{DesignResources, estimate}};
+//! use nsflow_arch::{ArrayConfig, PrecisionConfig, memory::MemoryPlan};
+//!
+//! let cfg = ArrayConfig::new(32, 16, 16)?;
+//! let plan = MemoryPlan::default();
+//! let res = estimate(&cfg, &PrecisionConfig::mixed(), 64, &plan);
+//! let util = res.utilization_on(&FpgaDevice::u250())?;
+//! assert!(util.dsp_pct > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+
+pub mod design;
+pub mod resources;
+pub mod rtl;
+
+pub use device::FpgaDevice;
+pub use error::FpgaError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FpgaError>;

@@ -1,0 +1,117 @@
+//! Graphviz DOT export of a dataflow graph.
+//!
+//! Renders the trace's dependency DAG with the generator's analysis
+//! overlaid: critical-path nodes are highlighted, nodes are colored by
+//! compute class (array NN, array VSA, SIMD), and parallel groups are
+//! annotated — a direct visual counterpart of the paper's Fig. 4.
+
+use nsflow_trace::OpKind;
+
+use crate::DataflowGraph;
+
+/// Renders the graph as DOT text (pipe into `dot -Tsvg` to draw it).
+#[must_use]
+pub fn to_dot(graph: &DataflowGraph) -> String {
+    let trace = graph.trace();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "digraph \"{}\" {{\n  rankdir=TB;\n  node [shape=box, style=filled, fontname=\"monospace\"];\n",
+        trace.name()
+    ));
+    for op in trace.ops() {
+        let (fill, class) = match op.kind() {
+            OpKind::Gemm { .. } => ("#aecbfa", "NN"),
+            OpKind::VsaConv { .. } => ("#f9c38c", "VSA"),
+            _ => ("#d8f0d8", "SIMD"),
+        };
+        let border = if graph.is_critical(op.id()) { ", penwidth=3, color=\"#c5221f\"" } else { "" };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{} d{}\" , fillcolor=\"{}\"{}];\n",
+            op.id().index(),
+            op.name(),
+            class,
+            graph.depth(op.id()),
+            fill,
+            border
+        ));
+    }
+    for op in trace.ops() {
+        for dep in op.inputs() {
+            out.push_str(&format!("  n{} -> n{};\n", dep.index(), op.id().index()));
+        }
+    }
+    // Critical path as a bold chain annotation.
+    if graph.critical_path().len() > 1 {
+        let chain: Vec<String> =
+            graph.critical_path().iter().map(|id| format!("n{}", id.index())).collect();
+        out.push_str(&format!(
+            "  {} [style=bold, color=\"#c5221f\", constraint=false];\n",
+            chain.join(" -> ")
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsflow_tensor::DType;
+    use nsflow_trace::{Domain, OpKind, TraceBuilder};
+
+    fn graph() -> DataflowGraph {
+        let mut b = TraceBuilder::new("dotty");
+        let c = b.push(
+            "conv",
+            OpKind::Gemm { m: 64, n: 8, k: 8 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let v = b.push(
+            "bind",
+            OpKind::VsaConv { n_vec: 2, dim: 32 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[c],
+        );
+        let _s = b.push(
+            "sum",
+            OpKind::Reduce { elems: 64, func: nsflow_trace::ReduceFunc::Sum },
+            Domain::Symbolic,
+            DType::Int4,
+            &[v],
+        );
+        DataflowGraph::from_trace(b.finish(1).unwrap())
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = graph();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 ["));
+        assert!(dot.contains("n1 ["));
+        assert!(dot.contains("n2 ["));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_classes_and_critical_path_are_marked() {
+        let dot = to_dot(&graph());
+        assert!(dot.contains("NN d0"));
+        assert!(dot.contains("VSA d1"));
+        assert!(dot.contains("SIMD d2"));
+        assert!(dot.contains("penwidth=3"), "critical nodes should be highlighted");
+        assert!(dot.contains("n0 -> n1 -> n2 [style=bold"));
+    }
+
+    #[test]
+    fn dot_is_balanced() {
+        let dot = to_dot(&graph());
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert_eq!(dot.matches('[').count(), dot.matches(']').count());
+    }
+}

@@ -1,0 +1,364 @@
+use std::fmt;
+
+use nsflow_tensor::{DType, Shape};
+
+use crate::{NnError, Result};
+
+/// GEMM dimensions of a layer as mapped onto a systolic array.
+///
+/// Convolutions are lowered by im2col: `m` is the number of output pixels,
+/// `k` the reduction length (`in_ch · k_h · k_w`) and `n` the number of
+/// filters. These are the `d₁, d₂, d₃` ("layer dimensions m, n, k") in the
+/// paper's AdArray runtime function, eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmDims {
+    /// Output rows (spatial positions × batch).
+    pub m: usize,
+    /// Output columns (filters / output features).
+    pub n: usize,
+    /// Reduction length.
+    pub k: usize,
+}
+
+impl GemmDims {
+    /// Multiply–accumulate count of the GEMM.
+    #[must_use]
+    pub const fn macs(&self) -> u64 {
+        (self.m as u64) * (self.n as u64) * (self.k as u64)
+    }
+}
+
+impl fmt::Display for GemmDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GEMM[m={}, n={}, k={}]", self.m, self.n, self.k)
+    }
+}
+
+/// The kind and hyper-parameters of one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// 2-D convolution over NCHW input.
+    Conv2d {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels (filter count).
+        out_ch: usize,
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride (same both axes).
+        stride: usize,
+        /// Zero padding (same both axes).
+        padding: usize,
+    },
+    /// Fully connected layer.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Max pooling with square window.
+    MaxPool2d {
+        /// Window side (also used as stride).
+        kernel: usize,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool,
+    /// Batch normalization (shape preserving).
+    BatchNorm2d,
+    /// ReLU activation (shape preserving).
+    Relu,
+}
+
+/// A named layer with derived shape/cost metadata.
+///
+/// # Examples
+///
+/// ```
+/// use nsflow_nn::{LayerSpec, LayerKind};
+/// use nsflow_tensor::Shape;
+///
+/// let conv = LayerSpec::new(
+///     "conv1",
+///     LayerKind::Conv2d { in_ch: 3, out_ch: 64, kernel: 7, stride: 2, padding: 3 },
+/// );
+/// let out = conv.output_shape(&Shape::new(vec![1, 3, 160, 160]))?;
+/// assert_eq!(out.dims(), &[1, 64, 80, 80]);
+/// # Ok::<(), nsflow_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerSpec {
+    name: String,
+    kind: LayerKind,
+}
+
+impl LayerSpec {
+    /// Creates a named layer.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        LayerSpec { name: name.into(), kind }
+    }
+
+    /// The layer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's kind and hyper-parameters.
+    #[must_use]
+    pub fn kind(&self) -> &LayerKind {
+        &self.kind
+    }
+
+    /// Output shape for a given NCHW (conv/pool) or `[batch, features]`
+    /// (linear) input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the input rank or channel
+    /// count is wrong, and [`NnError::InvalidLayer`] when hyper-parameters
+    /// cannot produce a positive output size.
+    pub fn output_shape(&self, input: &Shape) -> Result<Shape> {
+        match &self.kind {
+            LayerKind::Conv2d { in_ch, out_ch, kernel, stride, padding } => {
+                let (b, c, h, w) = self.expect_nchw(input)?;
+                if c != *in_ch {
+                    return Err(self.shape_err(&format!("[N, {in_ch}, H, W]"), input));
+                }
+                let oh = conv_out(h, *kernel, *stride, *padding)
+                    .ok_or_else(|| self.invalid("kernel exceeds padded input height"))?;
+                let ow = conv_out(w, *kernel, *stride, *padding)
+                    .ok_or_else(|| self.invalid("kernel exceeds padded input width"))?;
+                if *out_ch == 0 {
+                    return Err(self.invalid("zero output channels"));
+                }
+                Ok(Shape::new(vec![b, *out_ch, oh, ow]))
+            }
+            LayerKind::Linear { in_features, out_features } => {
+                let dims = input.dims();
+                let feat: usize = dims.iter().skip(1).product();
+                if dims.is_empty() || feat != *in_features {
+                    return Err(self.shape_err(&format!("[N, {in_features}]"), input));
+                }
+                Ok(Shape::new(vec![dims[0], *out_features]))
+            }
+            LayerKind::MaxPool2d { kernel } => {
+                let (b, c, h, w) = self.expect_nchw(input)?;
+                if *kernel == 0 || h < *kernel || w < *kernel {
+                    return Err(self.invalid("pool window exceeds input"));
+                }
+                Ok(Shape::new(vec![b, c, h / kernel, w / kernel]))
+            }
+            LayerKind::GlobalAvgPool => {
+                let (b, c, _, _) = self.expect_nchw(input)?;
+                Ok(Shape::new(vec![b, c]))
+            }
+            LayerKind::BatchNorm2d | LayerKind::Relu => Ok(input.clone()),
+        }
+    }
+
+    /// GEMM dimensions when this layer maps onto the systolic array;
+    /// `None` for layers executed on the SIMD unit (pool/bn/relu).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`Self::output_shape`].
+    pub fn gemm_dims(&self, input: &Shape) -> Result<Option<GemmDims>> {
+        match &self.kind {
+            LayerKind::Conv2d { in_ch, out_ch, kernel, .. } => {
+                let out = self.output_shape(input)?;
+                let d = out.dims();
+                let (b, oh, ow) = (d[0], d[2], d[3]);
+                Ok(Some(GemmDims { m: b * oh * ow, n: *out_ch, k: in_ch * kernel * kernel }))
+            }
+            LayerKind::Linear { in_features, out_features } => {
+                let out = self.output_shape(input)?;
+                Ok(Some(GemmDims { m: out.dims()[0], n: *out_features, k: *in_features }))
+            }
+            LayerKind::MaxPool2d { .. }
+            | LayerKind::GlobalAvgPool
+            | LayerKind::BatchNorm2d
+            | LayerKind::Relu => Ok(None),
+        }
+    }
+
+    /// Trainable parameter count (weights + biases; BN has 2 per channel,
+    /// which requires the input shape, hence the argument).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors for layers that need the input shape.
+    pub fn param_count(&self, input: &Shape) -> Result<u64> {
+        Ok(match &self.kind {
+            LayerKind::Conv2d { in_ch, out_ch, kernel, .. } => {
+                (*out_ch as u64) * (*in_ch as u64) * (*kernel as u64).pow(2) + *out_ch as u64
+            }
+            LayerKind::Linear { in_features, out_features } => {
+                (*in_features as u64) * (*out_features as u64) + *out_features as u64
+            }
+            LayerKind::BatchNorm2d => {
+                let (_, c, _, _) = self.expect_nchw(input)?;
+                2 * c as u64
+            }
+            LayerKind::MaxPool2d { .. } | LayerKind::GlobalAvgPool | LayerKind::Relu => 0,
+        })
+    }
+
+    /// FLOP count (2 × MACs for GEMM layers; element counts for the rest).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn flops(&self, input: &Shape) -> Result<u64> {
+        if let Some(g) = self.gemm_dims(input)? {
+            return Ok(2 * g.macs());
+        }
+        let out = self.output_shape(input)?;
+        Ok(match &self.kind {
+            LayerKind::MaxPool2d { kernel } => (out.volume() as u64) * (*kernel as u64).pow(2),
+            LayerKind::GlobalAvgPool => input.volume() as u64,
+            LayerKind::BatchNorm2d => 2 * out.volume() as u64,
+            LayerKind::Relu => out.volume() as u64,
+            _ => unreachable!("GEMM layers handled above"),
+        })
+    }
+
+    /// Bytes of weights at precision `dtype` (activations excluded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn weight_bytes(&self, input: &Shape, dtype: DType) -> Result<usize> {
+        Ok(dtype.storage_bytes(self.param_count(input)? as usize))
+    }
+
+    fn expect_nchw(&self, input: &Shape) -> Result<(usize, usize, usize, usize)> {
+        let d = input.dims();
+        if d.len() != 4 {
+            return Err(self.shape_err("[N, C, H, W]", input));
+        }
+        Ok((d[0], d[1], d[2], d[3]))
+    }
+
+    fn shape_err(&self, expected: &str, actual: &Shape) -> NnError {
+        NnError::ShapeMismatch {
+            layer: self.name.clone(),
+            expected: expected.to_string(),
+            actual: actual.to_string(),
+        }
+    }
+
+    fn invalid(&self, msg: &str) -> NnError {
+        NnError::InvalidLayer(format!("{}: {msg}", self.name))
+    }
+}
+
+fn conv_out(size: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    let padded = size + 2 * padding;
+    if kernel == 0 || stride == 0 || padded < kernel {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(in_ch: usize, out_ch: usize, k: usize, s: usize, p: usize) -> LayerSpec {
+        LayerSpec::new("c", LayerKind::Conv2d { in_ch, out_ch, kernel: k, stride: s, padding: p })
+    }
+
+    #[test]
+    fn conv_output_shape_resnet_stem() {
+        let stem = conv(3, 64, 7, 2, 3);
+        let out = stem.output_shape(&Shape::new(vec![1, 3, 224, 224])).unwrap();
+        assert_eq!(out.dims(), &[1, 64, 112, 112]);
+    }
+
+    #[test]
+    fn conv_same_padding_preserves_hw() {
+        let c = conv(64, 64, 3, 1, 1);
+        let out = c.output_shape(&Shape::new(vec![2, 64, 40, 40])).unwrap();
+        assert_eq!(out.dims(), &[2, 64, 40, 40]);
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels_and_rank() {
+        let c = conv(3, 8, 3, 1, 1);
+        assert!(c.output_shape(&Shape::new(vec![1, 4, 8, 8])).is_err());
+        assert!(c.output_shape(&Shape::new(vec![3, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_kernel_larger_than_input() {
+        let c = conv(1, 1, 9, 1, 0);
+        assert!(matches!(
+            c.output_shape(&Shape::new(vec![1, 1, 4, 4])),
+            Err(NnError::InvalidLayer(_))
+        ));
+    }
+
+    #[test]
+    fn linear_flattens_trailing_dims() {
+        let l = LayerSpec::new("fc", LayerKind::Linear { in_features: 512, out_features: 10 });
+        let out = l.output_shape(&Shape::new(vec![4, 512])).unwrap();
+        assert_eq!(out.dims(), &[4, 10]);
+        let out2 = l.output_shape(&Shape::new(vec![4, 8, 8, 8])).unwrap();
+        assert_eq!(out2.dims(), &[4, 10]);
+        assert!(l.output_shape(&Shape::new(vec![4, 100])).is_err());
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        let p = LayerSpec::new("mp", LayerKind::MaxPool2d { kernel: 2 });
+        let out = p.output_shape(&Shape::new(vec![1, 8, 16, 16])).unwrap();
+        assert_eq!(out.dims(), &[1, 8, 8, 8]);
+        let g = LayerSpec::new("gap", LayerKind::GlobalAvgPool);
+        assert_eq!(g.output_shape(&Shape::new(vec![1, 512, 5, 5])).unwrap().dims(), &[1, 512]);
+    }
+
+    #[test]
+    fn gemm_dims_for_conv() {
+        let c = conv(3, 64, 7, 2, 3);
+        let g = c.gemm_dims(&Shape::new(vec![1, 3, 160, 160])).unwrap().unwrap();
+        assert_eq!(g, GemmDims { m: 80 * 80, n: 64, k: 3 * 49 });
+        assert_eq!(g.macs(), (80 * 80) as u64 * 64 * 147);
+    }
+
+    #[test]
+    fn gemm_dims_none_for_simd_layers() {
+        let r = LayerSpec::new("relu", LayerKind::Relu);
+        assert_eq!(r.gemm_dims(&Shape::new(vec![1, 1, 2, 2])).unwrap(), None);
+    }
+
+    #[test]
+    fn param_counts() {
+        let c = conv(3, 64, 7, 2, 3);
+        let p = c.param_count(&Shape::new(vec![1, 3, 160, 160])).unwrap();
+        assert_eq!(p, 64 * 3 * 49 + 64);
+        let l = LayerSpec::new("fc", LayerKind::Linear { in_features: 512, out_features: 10 });
+        assert_eq!(l.param_count(&Shape::new(vec![1, 512])).unwrap(), 5130);
+        let bn = LayerSpec::new("bn", LayerKind::BatchNorm2d);
+        assert_eq!(bn.param_count(&Shape::new(vec![1, 64, 8, 8])).unwrap(), 128);
+    }
+
+    #[test]
+    fn flops_are_twice_macs_for_gemm_layers() {
+        let c = conv(16, 32, 3, 1, 1);
+        let input = Shape::new(vec![1, 16, 10, 10]);
+        let g = c.gemm_dims(&input).unwrap().unwrap();
+        assert_eq!(c.flops(&input).unwrap(), 2 * g.macs());
+    }
+
+    #[test]
+    fn weight_bytes_respect_precision() {
+        let c = conv(3, 8, 3, 1, 1);
+        let input = Shape::new(vec![1, 3, 8, 8]);
+        let fp32 = c.weight_bytes(&input, DType::Fp32).unwrap();
+        let int8 = c.weight_bytes(&input, DType::Int8).unwrap();
+        assert_eq!(fp32, 4 * int8);
+    }
+}

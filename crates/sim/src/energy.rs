@@ -1,0 +1,156 @@
+//! Energy modeling — an extension beyond the paper's latency results.
+//!
+//! The paper characterizes its baselines by board power (Coral 4 W, TX2
+//! 15 W, NX 20 W, RTX 2080 Ti 250 W) but reports only runtime. This module
+//! adds the natural follow-up: energy per inference, with the NSFlow
+//! design's power estimated from its FPGA resource usage (a standard
+//! component-wise dynamic-power model at the 272 MHz template clock).
+
+use nsflow_fpga::resources::DesignResources;
+
+/// Nominal board power of each baseline device, in watts (the figures the
+/// paper quotes in Sec. II-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DevicePower {
+    /// Board/device power in watts.
+    pub watts: f64,
+}
+
+impl DevicePower {
+    /// Google Coral edge TPU: 4 W.
+    #[must_use]
+    pub fn coral_tpu() -> Self {
+        DevicePower { watts: 4.0 }
+    }
+
+    /// Jetson TX2: 15 W.
+    #[must_use]
+    pub fn jetson_tx2() -> Self {
+        DevicePower { watts: 15.0 }
+    }
+
+    /// Xavier NX: 20 W.
+    #[must_use]
+    pub fn xavier_nx() -> Self {
+        DevicePower { watts: 20.0 }
+    }
+
+    /// RTX 2080 Ti: 250 W.
+    #[must_use]
+    pub fn rtx_2080_ti() -> Self {
+        DevicePower { watts: 250.0 }
+    }
+
+    /// Xeon server CPU (package): 150 W.
+    #[must_use]
+    pub fn xeon_cpu() -> Self {
+        DevicePower { watts: 150.0 }
+    }
+
+    /// TPU-like accelerator card: 75 W.
+    #[must_use]
+    pub fn tpu_like() -> Self {
+        DevicePower { watts: 75.0 }
+    }
+
+    /// Xilinx DPU on its host card: 40 W.
+    #[must_use]
+    pub fn dpu_like() -> Self {
+        DevicePower { watts: 40.0 }
+    }
+
+    /// Energy for a run of `seconds`, in joules.
+    #[must_use]
+    pub fn energy_joules(&self, seconds: f64) -> f64 {
+        self.watts * seconds
+    }
+}
+
+/// Component-wise dynamic-power estimate of an NSFlow design at the given
+/// clock, plus static power.
+///
+/// Per-component coefficients are standard UltraScale+ ballpark figures at
+/// ~0.85 V: ~1.5 mW per active DSP at 272 MHz, ~10 µW per logic LUT,
+/// ~2.5 mW per active BRAM block, ~5 mW per URAM block, 5 W static.
+///
+/// # Examples
+///
+/// ```
+/// use nsflow_sim::energy::fpga_watts;
+/// use nsflow_fpga::resources::DesignResources;
+/// let res = DesignResources {
+///     dsps: 10_000, luts: 900_000, ffs: 2_000_000,
+///     bram_blocks: 1_500, uram_blocks: 100, lutram_luts: 190_000,
+/// };
+/// let w = fpga_watts(&res, 272.0e6);
+/// assert!(w > 20.0 && w < 60.0);
+/// ```
+#[must_use]
+pub fn fpga_watts(resources: &DesignResources, freq_hz: f64) -> f64 {
+    let scale = freq_hz / 272.0e6;
+    let dsp = resources.dsps as f64 * 1.5e-3;
+    let lut = resources.luts as f64 * 10.0e-6;
+    let ff = resources.ffs as f64 * 1.0e-6;
+    let bram = resources.bram_blocks as f64 * 2.5e-3;
+    let uram = resources.uram_blocks as f64 * 5.0e-3;
+    let lutram = resources.lutram_luts as f64 * 12.0e-6;
+    5.0 + scale * (dsp + lut + ff + bram + uram + lutram)
+}
+
+/// Energy per inference in joules for an NSFlow deployment.
+#[must_use]
+pub fn fpga_energy_joules(resources: &DesignResources, freq_hz: f64, seconds: f64) -> f64 {
+    fpga_watts(resources, freq_hz) * seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res() -> DesignResources {
+        DesignResources {
+            dsps: 10_700,
+            luts: 950_000,
+            ffs: 2_100_000,
+            bram_blocks: 1_800,
+            uram_blocks: 116,
+            lutram_luts: 190_000,
+        }
+    }
+
+    #[test]
+    fn nsflow_design_power_is_tens_of_watts() {
+        let w = fpga_watts(&res(), 272.0e6);
+        assert!((20.0..60.0).contains(&w), "watts {w}");
+    }
+
+    #[test]
+    fn power_scales_with_clock() {
+        let full = fpga_watts(&res(), 272.0e6);
+        let half = fpga_watts(&res(), 136.0e6);
+        assert!(half < full);
+        // Static floor keeps the ratio above the pure clock ratio.
+        assert!(half > full / 2.0);
+    }
+
+    #[test]
+    fn device_energy_is_power_times_time() {
+        let e = DevicePower::rtx_2080_ti().energy_joules(0.1);
+        assert!((e - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpga_energy_consistent_with_watts() {
+        let r = res();
+        let w = fpga_watts(&r, 272.0e6);
+        assert!((fpga_energy_joules(&r, 272.0e6, 2.0) - 2.0 * w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wattage_catalog_matches_paper_figures() {
+        assert_eq!(DevicePower::coral_tpu().watts, 4.0);
+        assert_eq!(DevicePower::jetson_tx2().watts, 15.0);
+        assert_eq!(DevicePower::xavier_nx().watts, 20.0);
+        assert_eq!(DevicePower::rtx_2080_ti().watts, 250.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # nsflow-sim
+//!
+//! Cycle-level simulation and baseline device models for the NSFlow
+//! reproduction.
+//!
+//! - [`schedule`]: an event-driven scheduler that executes a
+//!   [`DataflowGraph`](nsflow_graph::DataflowGraph) on the AdArray/SIMD
+//!   resource model across all loop iterations, honoring data dependencies,
+//!   partition occupancy and double-buffered transfer stalls — the
+//!   reproduction's equivalent of running the bitstream,
+//! - [`devices`]: calibrated analytical models of every baseline the paper
+//!   compares against (Jetson TX2, Xavier NX, Xeon CPU, RTX 2080 Ti, Coral
+//!   edge TPU, a TPU-like 128×128 systolic array, Xilinx DPU), built on a
+//!   roofline with per-domain efficiency factors (see DESIGN.md for the
+//!   substitution argument),
+//! - [`roofline`]: operational-intensity / attained-performance analysis
+//!   reproducing Fig. 1c,
+//! - [`energy`]: board-power catalog + FPGA dynamic-power model for the
+//!   energy-per-inference extension experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsflow_sim::devices::{Device, DeviceModel};
+//! use nsflow_trace::{TraceBuilder, OpKind, Domain};
+//! use nsflow_tensor::DType;
+//!
+//! let mut b = TraceBuilder::new("w");
+//! b.push("conv", OpKind::Gemm { m: 1000, n: 64, k: 576 }, Domain::Neural, DType::Int8, &[]);
+//! let trace = b.finish(1)?;
+//! let report = Device::rtx_2080_ti().run(&trace);
+//! assert!(report.total_seconds() > 0.0);
+//! # Ok::<(), nsflow_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod devices;
+pub mod energy;
+pub mod roofline;
+pub mod schedule;

@@ -1,0 +1,710 @@
+//! Event-driven execution of a dataflow graph on the NSFlow backend.
+//!
+//! Three resources exist: the NN partition of the AdArray, the VSA
+//! partition, and the SIMD unit. In parallel mode the partitions run
+//! concurrently on disjoint sub-arrays; in sequential mode they are the
+//! same time-shared resource. Each op's latency comes from the analytical
+//! model (eqs. (1)–(5)) plus an optional double-buffered transfer stall.
+//!
+//! Loop iterations are pipelined exactly as the paper's step ③ describes:
+//! an op of loop `i+1` waits only for its *intra-loop* dependencies and
+//! for its resource to free — so the next loop's first NN layer overlaps
+//! the previous loop's symbolic tail.
+
+use nsflow_arch::memory::TransferModel;
+use nsflow_arch::{analytical, simd, ArrayConfig, Mapping};
+use nsflow_graph::DataflowGraph;
+use nsflow_trace::{OpId, OpKind};
+
+/// Which execution resource an op occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The AdArray's NN partition (or the whole array when sequential).
+    NnPartition,
+    /// The AdArray's VSA partition.
+    VsaPartition,
+    /// The SIMD unit.
+    Simd,
+}
+
+/// One scheduled op instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Loop iteration index.
+    pub loop_idx: usize,
+    /// The op.
+    pub op: OpId,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+    /// Resource occupied.
+    pub resource: Resource,
+}
+
+/// The complete schedule of a workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    ops: Vec<ScheduledOp>,
+    total_cycles: u64,
+    busy_nn: u64,
+    busy_vsa: u64,
+    busy_simd: u64,
+    /// Sub-array count when produced by the pooled scheduler
+    /// ([`run_pooled`]); 0 for the partition-queue scheduler ([`run`]).
+    pool_units: usize,
+}
+
+impl Schedule {
+    /// All scheduled op instances in issue order.
+    #[must_use]
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// Makespan in cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Busy cycles per resource `(nn, vsa, simd)`.
+    #[must_use]
+    pub fn busy_cycles(&self) -> (u64, u64, u64) {
+        (self.busy_nn, self.busy_vsa, self.busy_simd)
+    }
+
+    /// Seconds at a given clock frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    #[must_use]
+    pub fn seconds_at(&self, freq_hz: f64) -> f64 {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        self.total_cycles as f64 / freq_hz
+    }
+
+    /// Renders the schedule as a text Gantt timeline (one line per op
+    /// instance, ordered by start cycle) — a debugging/inspection artifact
+    /// for deployment analysis.
+    #[must_use]
+    pub fn to_gantt_text(&self, graph: &DataflowGraph) -> String {
+        let mut lines = String::new();
+        let width = 48usize;
+        let span = self.total_cycles.max(1) as f64;
+        let mut ops = self.ops.clone();
+        ops.sort_by_key(|so| (so.start, so.loop_idx, so.op.index()));
+        for so in &ops {
+            let name = graph.trace().op(so.op).name();
+            let lane = match so.resource {
+                Resource::NnPartition => "NN  ",
+                Resource::VsaPartition => "VSA ",
+                Resource::Simd => "SIMD",
+            };
+            let a = ((so.start as f64 / span) * width as f64) as usize;
+            let b = (((so.end as f64 / span) * width as f64) as usize).max(a + 1).min(width);
+            let mut bar = vec![b' '; width];
+            for c in bar.iter_mut().take(b).skip(a) {
+                *c = b'#';
+            }
+            lines.push_str(&format!(
+                "{lane} |{}| {:>10}..{:<10} L{} {}\n",
+                String::from_utf8_lossy(&bar),
+                so.start,
+                so.end,
+                so.loop_idx,
+                name
+            ));
+        }
+        lines
+    }
+
+    /// Temporal utilization of the array: sub-array-cycles busy over
+    /// sub-array-cycles available (pooled schedules), or partition
+    /// busy/makespan for the two-queue scheduler.
+    #[must_use]
+    pub fn array_utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        let denom = if self.pool_units > 0 {
+            self.pool_units as u64 * self.total_cycles
+        } else {
+            2 * self.total_cycles
+        };
+        ((self.busy_nn + self.busy_vsa) as f64 / denom as f64).min(1.0)
+    }
+}
+
+/// Options for [`run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// SIMD unit width.
+    pub simd_lanes: usize,
+    /// Optional off-chip transfer model; `None` disables stalls.
+    pub transfer: Option<TransferModel>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { simd_lanes: 64, transfer: Some(TransferModel::default()) }
+    }
+}
+
+/// Executes `graph` (all loop iterations) on the configured backend and
+/// returns the schedule.
+///
+/// # Panics
+///
+/// Panics if `mapping` lengths disagree with the graph's NN/VSA node
+/// counts (validate first with [`Mapping::validate`]).
+#[must_use]
+pub fn run(
+    graph: &DataflowGraph,
+    cfg: &ArrayConfig,
+    mapping: &Mapping,
+    options: &SimOptions,
+) -> Schedule {
+    let trace = graph.trace();
+    let nn_nodes = trace.nn_nodes();
+    let vsa_nodes = trace.vsa_nodes();
+    assert_eq!(mapping.n_l.len(), nn_nodes.len(), "NN mapping length");
+    assert_eq!(mapping.n_v.len(), vsa_nodes.len(), "VSA mapping length");
+
+    // Per-op resource + latency (loop-invariant).
+    let nn_index: std::collections::HashMap<OpId, usize> =
+        nn_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let vsa_index: std::collections::HashMap<OpId, usize> =
+        vsa_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+
+    let mut latencies = Vec::with_capacity(trace.ops().len());
+    let mut resources = Vec::with_capacity(trace.ops().len());
+    for op in trace.ops() {
+        let (latency, resource) = match *op.kind() {
+            OpKind::Gemm { m, n, k } => {
+                let n_l = mapping.n_l[nn_index[&op.id()]];
+                let compute = analytical::nn_layer_cycles(cfg, n_l, m, n, k);
+                let stall = options
+                    .transfer
+                    .as_ref()
+                    .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
+                (compute + stall, Resource::NnPartition)
+            }
+            OpKind::VsaConv { n_vec, dim } => {
+                let n_v = mapping.n_v[vsa_index[&op.id()]];
+                let (compute, _) = analytical::vsa_node_cycles(cfg, n_v, n_vec, dim);
+                let stall = options
+                    .transfer
+                    .as_ref()
+                    .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
+                (compute + stall, Resource::VsaPartition)
+            }
+            ref k => (simd::op_cycles(k, options.simd_lanes).max(1), Resource::Simd),
+        };
+        latencies.push(latency.max(1));
+        resources.push(resource);
+    }
+
+    // In sequential mode the VSA partition aliases the NN partition.
+    let alias = |r: Resource| -> Resource {
+        if !mapping.parallel && r == Resource::VsaPartition {
+            Resource::NnPartition
+        } else {
+            r
+        }
+    };
+
+    let mut free_at: std::collections::HashMap<Resource, u64> = std::collections::HashMap::new();
+    let mut scheduled = Vec::new();
+    let mut busy = std::collections::HashMap::<Resource, u64>::new();
+    let n_ops = trace.ops().len();
+    let mut end_of: Vec<u64> = vec![0; n_ops];
+    let mut makespan = 0u64;
+
+    for loop_idx in 0..trace.loop_count() {
+        for (pos, op) in trace.ops().iter().enumerate() {
+            let res = alias(resources[pos]);
+            let dep_ready = op
+                .inputs()
+                .iter()
+                .map(|d| end_of[d.index()])
+                .max()
+                .unwrap_or(0);
+            let res_ready = free_at.get(&res).copied().unwrap_or(0);
+            let start = dep_ready.max(res_ready);
+            let end = start + latencies[pos];
+            end_of[pos] = end;
+            free_at.insert(res, end);
+            *busy.entry(res).or_insert(0) += latencies[pos];
+            makespan = makespan.max(end);
+            scheduled.push(ScheduledOp {
+                loop_idx,
+                op: op.id(),
+                start,
+                end,
+                resource: resources[pos],
+            });
+        }
+    }
+
+    Schedule {
+        ops: scheduled,
+        total_cycles: makespan,
+        busy_nn: busy.get(&Resource::NnPartition).copied().unwrap_or(0),
+        busy_vsa: busy.get(&Resource::VsaPartition).copied().unwrap_or(0),
+        busy_simd: busy.get(&Resource::Simd).copied().unwrap_or(0),
+        pool_units: 0,
+    }
+}
+
+/// Executes `graph` on the **pooled** AdArray model: the `N` sub-arrays
+/// form a single capacity pool, each array op claims its mapped
+/// allocation (`N_l[i]` / `N_v[j]`) for its duration and releases it on
+/// completion — runtime array folding as the backend actually performs
+/// it. SIMD ops serialize on the SIMD unit. Successive loop iterations
+/// of the *same* op serialize (its stationary weights/vectors occupy the
+/// claimed sub-arrays), which is what bounds the loop-pipelining depth.
+///
+/// This is the execution model behind the Fig. 6 ablation: per-node
+/// allocations genuinely compete for the pool, so the Phase-II mapping
+/// refinement has real effect.
+///
+/// # Panics
+///
+/// Panics if `mapping` lengths disagree with the graph's node counts.
+#[must_use]
+pub fn run_pooled(
+    graph: &DataflowGraph,
+    cfg: &ArrayConfig,
+    mapping: &Mapping,
+    options: &SimOptions,
+) -> Schedule {
+    let trace = graph.trace();
+    let nn_nodes = trace.nn_nodes();
+    let vsa_nodes = trace.vsa_nodes();
+    assert_eq!(mapping.n_l.len(), nn_nodes.len(), "NN mapping length");
+    assert_eq!(mapping.n_v.len(), vsa_nodes.len(), "VSA mapping length");
+    let pool = cfg.n_subarrays();
+
+    let nn_index: std::collections::HashMap<OpId, usize> =
+        nn_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let vsa_index: std::collections::HashMap<OpId, usize> =
+        vsa_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+
+    // Per-op latency, pool demand and class (loop-invariant).
+    let n_ops = trace.ops().len();
+    let mut latency = vec![0u64; n_ops];
+    let mut demand = vec![0usize; n_ops];
+    let mut class = Vec::with_capacity(n_ops);
+    for (pos, op) in trace.ops().iter().enumerate() {
+        match *op.kind() {
+            OpKind::Gemm { m, n, k } => {
+                let units = mapping.n_l[nn_index[&op.id()]].min(pool);
+                let compute = analytical::nn_layer_cycles(cfg, units, m, n, k);
+                let stall = options
+                    .transfer
+                    .as_ref()
+                    .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
+                latency[pos] = (compute + stall).max(1);
+                demand[pos] = units;
+                class.push(Resource::NnPartition);
+            }
+            OpKind::VsaConv { n_vec, dim } => {
+                let units = mapping.n_v[vsa_index[&op.id()]].min(pool);
+                let (compute, _) = analytical::vsa_node_cycles(cfg, units, n_vec, dim);
+                let stall = options
+                    .transfer
+                    .as_ref()
+                    .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
+                latency[pos] = (compute + stall).max(1);
+                demand[pos] = units;
+                class.push(Resource::VsaPartition);
+            }
+            ref k => {
+                latency[pos] = simd::op_cycles(k, options.simd_lanes).max(1);
+                demand[pos] = 0;
+                class.push(Resource::Simd);
+            }
+        }
+    }
+
+    // Event-driven list scheduling over (loop, op) instances.
+    let loops = trace.loop_count();
+    let total = loops * n_ops;
+    let idx = |l: usize, p: usize| l * n_ops + p;
+    // Remaining dependency count: intra-loop deps + previous instance of
+    // the same op (stationary-operand serialization).
+    let mut deps_left = vec![0usize; total];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); total];
+    for l in 0..loops {
+        for (p, op) in trace.ops().iter().enumerate() {
+            let me = idx(l, p);
+            for d in op.inputs() {
+                deps_left[me] += 1;
+                dependents[idx(l, d.index())].push(me);
+            }
+            if l > 0 {
+                deps_left[me] += 1;
+                dependents[idx(l - 1, p)].push(me);
+            }
+        }
+    }
+
+    use std::cmp::Reverse;
+    use std::collections::{BTreeSet, BinaryHeap};
+    let mut ready: BTreeSet<usize> = (0..total).filter(|&i| deps_left[i] == 0).collect();
+    let mut running: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut free = pool;
+    let mut simd_free = true;
+    let mut now = 0u64;
+    let mut scheduled = Vec::with_capacity(total);
+    let mut busy = std::collections::HashMap::<Resource, u64>::new();
+    let mut makespan = 0u64;
+    let mut done = 0usize;
+
+    while done < total {
+        // Start every ready instance that fits, in deterministic order.
+        let candidates: Vec<usize> = ready.iter().copied().collect();
+        for inst in candidates {
+            let p = inst % n_ops;
+            let fits = if class[p] == Resource::Simd {
+                simd_free
+            } else {
+                demand[p] <= free
+            };
+            if !fits {
+                continue;
+            }
+            ready.remove(&inst);
+            if class[p] == Resource::Simd {
+                simd_free = false;
+            } else {
+                free -= demand[p];
+            }
+            let end = now + latency[p];
+            running.push(Reverse((end, inst)));
+            // Pool utilization weights busy time by claimed sub-arrays.
+            let weight = if class[p] == Resource::Simd { 1 } else { demand[p] as u64 };
+            *busy.entry(class[p]).or_insert(0) += latency[p] * weight;
+            makespan = makespan.max(end);
+            scheduled.push(ScheduledOp {
+                loop_idx: inst / n_ops,
+                op: trace.ops()[p].id(),
+                start: now,
+                end,
+                resource: class[p],
+            });
+        }
+        // Advance to the next completion.
+        let Some(Reverse((t, inst))) = running.pop() else {
+            debug_assert!(done == total, "scheduler stalled with work remaining");
+            break;
+        };
+        now = t;
+        let mut finished = vec![inst];
+        while let Some(&Reverse((t2, inst2))) = running.peek() {
+            if t2 == now {
+                running.pop();
+                finished.push(inst2);
+            } else {
+                break;
+            }
+        }
+        for f in finished {
+            let p = f % n_ops;
+            if class[p] == Resource::Simd {
+                simd_free = true;
+            } else {
+                free += demand[p];
+            }
+            done += 1;
+            for &dep in &dependents[f] {
+                deps_left[dep] -= 1;
+                if deps_left[dep] == 0 {
+                    ready.insert(dep);
+                }
+            }
+        }
+    }
+
+    scheduled.sort_by_key(|so| (so.start, so.loop_idx, so.op.index()));
+    Schedule {
+        ops: scheduled,
+        total_cycles: makespan,
+        busy_nn: busy.get(&Resource::NnPartition).copied().unwrap_or(0),
+        busy_vsa: busy.get(&Resource::VsaPartition).copied().unwrap_or(0),
+        busy_simd: busy.get(&Resource::Simd).copied().unwrap_or(0),
+        pool_units: pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsflow_tensor::DType;
+    use nsflow_trace::{Domain, EltFunc, TraceBuilder};
+
+    fn graph(loops: usize) -> DataflowGraph {
+        let mut b = TraceBuilder::new("t");
+        let c = b.push(
+            "conv",
+            OpKind::Gemm { m: 256, n: 64, k: 64 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let r = b.push(
+            "relu",
+            OpKind::Elementwise { elems: 256 * 64, func: EltFunc::Relu },
+            Domain::Neural,
+            DType::Int8,
+            &[c],
+        );
+        let v = b.push(
+            "bind",
+            OpKind::VsaConv { n_vec: 16, dim: 128 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[r],
+        );
+        let _s = b.push(
+            "sim",
+            OpKind::Similarity { n_vec: 8, dim: 512 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[v],
+        );
+        DataflowGraph::from_trace(b.finish(loops).unwrap())
+    }
+
+    fn cfg() -> ArrayConfig {
+        ArrayConfig::new(16, 16, 4).unwrap()
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let g = graph(1);
+        let s = run(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let by_op: std::collections::HashMap<usize, &ScheduledOp> =
+            s.ops().iter().map(|so| (so.op.index(), so)).collect();
+        for op in g.trace().ops() {
+            for dep in op.inputs() {
+                assert!(
+                    by_op[&op.id().index()].start >= by_op[&dep.index()].end,
+                    "op {} started before its dependency finished",
+                    op.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resources_never_overlap() {
+        let g = graph(4);
+        let s = run(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        for r in [Resource::NnPartition, Resource::VsaPartition, Resource::Simd] {
+            let mut intervals: Vec<(u64, u64)> = s
+                .ops()
+                .iter()
+                .filter(|so| so.resource == r)
+                .map(|so| (so.start, so.end))
+                .collect();
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap on {r:?}: {w:?}");
+            }
+        }
+    }
+
+    /// A workload where the NN part saturates at one sub-array (n ≤ H) and
+    /// the symbolic part is heavy — the regime where folded parallel
+    /// execution beats time-sharing the whole array.
+    fn overlap_friendly_graph(loops: usize) -> DataflowGraph {
+        let mut b = TraceBuilder::new("overlap");
+        let c = b.push(
+            "conv",
+            OpKind::Gemm { m: 256, n: 16, k: 64 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let _v = b.push(
+            "bind",
+            OpKind::VsaConv { n_vec: 64, dim: 128 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[c],
+        );
+        DataflowGraph::from_trace(b.finish(loops).unwrap())
+    }
+
+    #[test]
+    fn pipelining_beats_serial_execution_when_parts_balance() {
+        let g = overlap_friendly_graph(8);
+        let par = run(&g, &cfg(), &Mapping::uniform(1, 1, 1, 3), &SimOptions::default());
+        let seq = run(&g, &cfg(), &Mapping::sequential(1, 1, 4), &SimOptions::default());
+        assert!(
+            par.total_cycles() < seq.total_cycles(),
+            "parallel {} !< sequential {}",
+            par.total_cycles(),
+            seq.total_cycles()
+        );
+    }
+
+    #[test]
+    fn sequential_mode_wins_when_nn_needs_the_whole_array() {
+        // The original graph's conv benefits 4× from the full array while
+        // overlap only hides the smaller VSA time — the case Algorithm 1's
+        // sequential-mode check exists for.
+        let g = graph(8);
+        let par = run(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let seq = run(&g, &cfg(), &Mapping::sequential(1, 1, 4), &SimOptions::default());
+        assert!(
+            seq.total_cycles() < par.total_cycles(),
+            "sequential {} !< parallel {}",
+            seq.total_cycles(),
+            par.total_cycles()
+        );
+    }
+
+    #[test]
+    fn single_loop_matches_analytical_parallel_bound() {
+        let g = graph(1);
+        let m = Mapping::uniform(1, 1, 3, 1);
+        let opts = SimOptions { simd_lanes: 64, transfer: None };
+        let s = run(&g, &cfg(), &m, &opts);
+        let t = analytical::loop_timing(&g, &cfg(), &m, 64);
+        // The schedule serializes the dependent chain, so it is at least
+        // the max-partition bound and at most the serial sum.
+        assert!(s.total_cycles() >= t.t_loop);
+        assert!(s.total_cycles() <= t.t_nn + t.t_vsa + t.t_simd);
+    }
+
+    #[test]
+    fn steady_state_period_is_bounded_by_loop_time() {
+        // With many loops, the amortized per-loop cost approaches the
+        // bottleneck partition's serial chain, not the full loop latency.
+        let g8 = graph(8);
+        let g16 = graph(16);
+        let m = Mapping::uniform(1, 1, 3, 1);
+        let opts = SimOptions::default();
+        let c8 = run(&g8, &cfg(), &m, &opts).total_cycles();
+        let c16 = run(&g16, &cfg(), &m, &opts).total_cycles();
+        let period = c16 - c8; // 8 extra loops
+        let t = analytical::loop_timing(&g8, &cfg(), &m, 64);
+        assert!(period <= 8 * (t.t_nn + t.t_vsa + t.t_simd));
+        assert!(period >= 8 * t.t_loop.min(t.t_nn.max(t.t_vsa)));
+    }
+
+    #[test]
+    fn gantt_text_lists_every_instance_in_start_order() {
+        let g = graph(2);
+        let s = run_pooled(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let text = s.to_gantt_text(&g);
+        assert_eq!(text.lines().count(), g.trace().ops().len() * 2);
+        assert!(text.contains("conv"));
+        assert!(text.contains("bind"));
+        // Start cycles are non-decreasing down the page.
+        let starts: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                let nums = l.split('|').nth(2).unwrap();
+                nums.trim().split("..").next().unwrap().trim().parse().unwrap()
+            })
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pooled_capacity_is_never_exceeded() {
+        let g = graph(6);
+        let cfg = cfg();
+        let m = Mapping::uniform(1, 1, 3, 2);
+        let s = run_pooled(&g, &cfg, &m, &SimOptions::default());
+        // Sweep events: at any time, claimed sub-arrays ≤ pool.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for so in s.ops() {
+            let demand = match g.trace().op(so.op).kind() {
+                OpKind::Gemm { .. } => 3i64,
+                OpKind::VsaConv { .. } => 2i64,
+                _ => 0,
+            };
+            if demand > 0 {
+                events.push((so.start, demand));
+                events.push((so.end, -demand));
+            }
+        }
+        events.sort();
+        let mut level = 0i64;
+        for (_, delta) in events {
+            level += delta;
+            assert!(level <= cfg.n_subarrays() as i64, "pool oversubscribed");
+        }
+    }
+
+    #[test]
+    fn pooled_respects_dependencies_and_instance_serialization() {
+        let g = graph(4);
+        let s = run_pooled(&g, &cfg(), &Mapping::uniform(1, 1, 2, 1), &SimOptions::default());
+        let mut end: std::collections::HashMap<(usize, usize), u64> = std::collections::HashMap::new();
+        for so in s.ops() {
+            end.insert((so.loop_idx, so.op.index()), so.end);
+        }
+        for so in s.ops() {
+            for dep in g.trace().op(so.op).inputs() {
+                assert!(so.start >= end[&(so.loop_idx, dep.index())]);
+            }
+            if so.loop_idx > 0 {
+                assert!(
+                    so.start >= end[&(so.loop_idx - 1, so.op.index())],
+                    "instance serialization violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_is_at_least_as_fast_as_partition_queues() {
+        let g = overlap_friendly_graph(8);
+        let m = Mapping::uniform(1, 1, 1, 3);
+        let opts = SimOptions::default();
+        let pooled = run_pooled(&g, &cfg(), &m, &opts).total_cycles();
+        let queued = run(&g, &cfg(), &m, &opts).total_cycles();
+        assert!(pooled <= queued, "pooled {pooled} !<= queued {queued}");
+    }
+
+    #[test]
+    fn pooled_utilization_uses_pool_denominator() {
+        let g = graph(4);
+        let s = run_pooled(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let u = s.array_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn transfer_stalls_increase_latency() {
+        let g = graph(1);
+        let m = Mapping::uniform(1, 1, 3, 1);
+        let fast = SimOptions { simd_lanes: 64, transfer: None };
+        let slow = SimOptions {
+            simd_lanes: 64,
+            transfer: Some(TransferModel::new(0.25)), // 1 byte per 4 cycles
+        };
+        let c_fast = run(&g, &cfg(), &m, &fast).total_cycles();
+        let c_slow = run(&g, &cfg(), &m, &slow).total_cycles();
+        assert!(c_slow > c_fast, "{c_slow} !> {c_fast}");
+    }
+
+    #[test]
+    fn utilization_and_seconds() {
+        let g = graph(4);
+        let s = run(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let u = s.array_utilization();
+        assert!(u > 0.0 && u <= 1.0);
+        let secs = s.seconds_at(272.0e6);
+        assert!(secs > 0.0);
+        let (nn, vsa, simd_busy) = s.busy_cycles();
+        assert!(nn > 0 && vsa > 0 && simd_busy > 0);
+    }
+}

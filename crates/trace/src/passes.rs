@@ -1,0 +1,346 @@
+//! Trace-level optimization passes the frontend applies before dataflow
+//! generation (extensions beyond the paper's pipeline, labelled as such
+//! in DESIGN.md).
+//!
+//! - [`eliminate_dead_ops`]: removes ops whose results nothing consumes
+//!   (scalar diagnostics a trace often carries, like Listing 1's trailing
+//!   `mul`),
+//! - [`fuse_elementwise`]: merges chains of element-wise SIMD ops with a
+//!   single consumer into one fused kernel, eliminating per-op dispatch
+//!   the same way fused activation pipelines do on any accelerator.
+
+use std::collections::HashMap;
+
+use crate::{EltFunc, ExecutionTrace, OpId, OpKind, Result, TraceBuilder};
+
+/// Statistics from an optimization pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassStats {
+    /// Ops in the input trace.
+    pub ops_before: usize,
+    /// Ops in the output trace.
+    pub ops_after: usize,
+}
+
+impl PassStats {
+    /// Ops removed by the pass.
+    #[must_use]
+    pub fn removed(&self) -> usize {
+        self.ops_before - self.ops_after
+    }
+}
+
+/// Removes ops that no other op consumes, except the trace's final op
+/// (the workload result) and array-class ops (their outputs feed the
+/// memory system even when the trace snippet does not show a consumer).
+/// Runs to a fixed point.
+///
+/// # Errors
+///
+/// Propagates trace-validation errors from reconstruction (structurally
+/// impossible for a valid input).
+pub fn eliminate_dead_ops(trace: &ExecutionTrace) -> Result<(ExecutionTrace, PassStats)> {
+    let mut keep = vec![true; trace.ops().len()];
+    loop {
+        let mut changed = false;
+        let mut consumed = vec![false; trace.ops().len()];
+        for (pos, op) in trace.ops().iter().enumerate() {
+            if !keep[pos] {
+                continue;
+            }
+            for d in op.inputs() {
+                consumed[d.index()] = true;
+            }
+        }
+        let last = trace.ops().len() - 1;
+        for (pos, op) in trace.ops().iter().enumerate() {
+            if keep[pos]
+                && !consumed[pos]
+                && pos != last
+                && op.kind().is_simd_op()
+            {
+                keep[pos] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    rebuild(trace, &keep, &HashMap::new())
+}
+
+/// Fuses maximal chains of element-wise ops where each link is the sole
+/// consumer of its predecessor: `relu → affine → clamp` becomes a single
+/// element-wise op carrying the *sum* of the chain's per-lane costs
+/// (represented with the dominant function and the combined element
+/// count), so the SIMD cost model still charges the same arithmetic while
+/// the scheduler dispatches one kernel.
+///
+/// # Errors
+///
+/// Propagates trace-validation errors from reconstruction.
+pub fn fuse_elementwise(trace: &ExecutionTrace) -> Result<(ExecutionTrace, PassStats)> {
+    let n = trace.ops().len();
+    // Count consumers per op.
+    let mut consumers = vec![0usize; n];
+    for op in trace.ops() {
+        for d in op.inputs() {
+            consumers[d.index()] += 1;
+        }
+    }
+    // An op is fused *into its producer* when both are Elementwise, the
+    // producer has exactly one consumer (this op), and this op has exactly
+    // one input.
+    let mut keep = vec![true; n];
+    let mut extra_elems: Vec<usize> = vec![0; n];
+    // Map from removed op -> surviving representative producing its value.
+    let mut alias: HashMap<usize, usize> = HashMap::new();
+    for (pos, op) in trace.ops().iter().enumerate() {
+        let OpKind::Elementwise { elems, .. } = *op.kind() else { continue };
+        if op.inputs().len() != 1 {
+            continue;
+        }
+        let producer = op.inputs()[0].index();
+        let producer_rep = *alias.get(&producer).unwrap_or(&producer);
+        let OpKind::Elementwise { .. } = trace.ops()[producer_rep].kind() else { continue };
+        if consumers[producer] != 1 {
+            continue;
+        }
+        // Fuse: this op disappears; its work joins the representative.
+        keep[pos] = false;
+        extra_elems[producer_rep] += elems + extra_elems[pos];
+        extra_elems[pos] = 0;
+        alias.insert(pos, producer_rep);
+    }
+    let mut grown: HashMap<usize, usize> = HashMap::new();
+    for (pos, &extra) in extra_elems.iter().enumerate() {
+        if keep[pos] && extra > 0 {
+            grown.insert(pos, extra);
+        }
+    }
+    rebuild_with_alias(trace, &keep, &alias, &grown)
+}
+
+fn rebuild(
+    trace: &ExecutionTrace,
+    keep: &[bool],
+    alias: &HashMap<usize, usize>,
+) -> Result<(ExecutionTrace, PassStats)> {
+    rebuild_with_alias(trace, keep, alias, &HashMap::new())
+}
+
+fn rebuild_with_alias(
+    trace: &ExecutionTrace,
+    keep: &[bool],
+    alias: &HashMap<usize, usize>,
+    grown: &HashMap<usize, usize>,
+) -> Result<(ExecutionTrace, PassStats)> {
+    let mut b = TraceBuilder::new(trace.name());
+    let mut new_id: HashMap<usize, OpId> = HashMap::new();
+    for (pos, op) in trace.ops().iter().enumerate() {
+        if !keep[pos] {
+            continue;
+        }
+        let inputs: Vec<OpId> = op
+            .inputs()
+            .iter()
+            .filter_map(|d| {
+                let mut idx = d.index();
+                while let Some(&a) = alias.get(&idx) {
+                    idx = a;
+                }
+                new_id.get(&idx).copied()
+            })
+            .collect();
+        let kind = match (*op.kind(), grown.get(&pos)) {
+            (OpKind::Elementwise { elems, func }, Some(&extra)) => {
+                OpKind::Elementwise { elems: elems + extra, func: fused_label(func) }
+            }
+            (k, _) => k,
+        };
+        let id = b.push(op.name(), kind, op.domain(), op.dtype(), &inputs);
+        new_id.insert(pos, id);
+    }
+    let stats = PassStats { ops_before: trace.ops().len(), ops_after: b.len() };
+    Ok((b.finish(trace.loop_count())?, stats))
+}
+
+/// The function label a fused chain carries (keeps the costliest member's
+/// issue class so the SIMD model never undercharges).
+fn fused_label(f: EltFunc) -> EltFunc {
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Domain;
+    use nsflow_tensor::DType;
+
+    fn listing1_like() -> ExecutionTrace {
+        let mut b = TraceBuilder::new("l1");
+        let conv = b.push(
+            "conv",
+            OpKind::Gemm { m: 64, n: 8, k: 8 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let relu = b.push(
+            "relu",
+            OpKind::Elementwise { elems: 512, func: EltFunc::Relu },
+            Domain::Neural,
+            DType::Int8,
+            &[conv],
+        );
+        let bn = b.push(
+            "bn",
+            OpKind::Elementwise { elems: 512, func: EltFunc::Affine },
+            Domain::Neural,
+            DType::Int8,
+            &[relu],
+        );
+        let bind = b.push(
+            "bind",
+            OpKind::VsaConv { n_vec: 2, dim: 32 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[bn],
+        );
+        let sim = b.push(
+            "sim",
+            OpKind::Similarity { n_vec: 4, dim: 64 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[bind],
+        );
+        // Dead diagnostic tail (like Listing 1's mul).
+        let sum = b.push(
+            "sum",
+            OpKind::Reduce { elems: 4, func: crate::ReduceFunc::Sum },
+            Domain::Symbolic,
+            DType::Int4,
+            &[sim],
+        );
+        let clamp = b.push(
+            "clamp",
+            OpKind::Elementwise { elems: 1, func: EltFunc::Clamp },
+            Domain::Symbolic,
+            DType::Int4,
+            &[sum],
+        );
+        let _mul = b.push(
+            "mul",
+            OpKind::Elementwise { elems: 1, func: EltFunc::Mul },
+            Domain::Symbolic,
+            DType::Int4,
+            &[sim, clamp],
+        );
+        b.finish(2).unwrap()
+    }
+
+    #[test]
+    fn dce_keeps_live_chain_and_final_op() {
+        let t = listing1_like();
+        let (out, stats) = eliminate_dead_ops(&t).unwrap();
+        // Nothing here is dead: mul is final, everything else is consumed.
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(out.ops().len(), t.ops().len());
+    }
+
+    #[test]
+    fn dce_removes_unconsumed_diagnostics() {
+        let mut b = TraceBuilder::new("dead");
+        let conv = b.push(
+            "conv",
+            OpKind::Gemm { m: 4, n: 4, k: 4 },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let _dead = b.push(
+            "debug_norm",
+            OpKind::Reduce { elems: 16, func: crate::ReduceFunc::Norm },
+            Domain::Neural,
+            DType::Int8,
+            &[conv],
+        );
+        let _live = b.push(
+            "bind",
+            OpKind::VsaConv { n_vec: 1, dim: 16 },
+            Domain::Symbolic,
+            DType::Int4,
+            &[conv],
+        );
+        let t = b.finish(1).unwrap();
+        let (out, stats) = eliminate_dead_ops(&t).unwrap();
+        assert_eq!(stats.removed(), 1);
+        assert!(out.ops().iter().all(|op| op.name() != "debug_norm"));
+        // The live chain survives with its edge intact.
+        assert_eq!(out.ops().len(), 2);
+        assert_eq!(out.ops()[1].inputs().len(), 1);
+    }
+
+    #[test]
+    fn fusion_merges_single_consumer_elementwise_chains() {
+        let t = listing1_like();
+        let (out, stats) = fuse_elementwise(&t).unwrap();
+        // relu→bn fuse into relu (bn had the only ref to relu).
+        assert_eq!(stats.removed(), 1, "exactly the bn op should fuse");
+        let relu = out.ops().iter().find(|o| o.name() == "relu").unwrap();
+        match relu.kind() {
+            OpKind::Elementwise { elems, .. } => assert_eq!(*elems, 1024),
+            other => panic!("unexpected kind {other}"),
+        }
+        // bind now consumes the fused op.
+        let bind = out.ops().iter().find(|o| o.name() == "bind").unwrap();
+        assert_eq!(out.op(bind.inputs()[0]).name(), "relu");
+    }
+
+    #[test]
+    fn fusion_preserves_total_simd_work() {
+        let t = listing1_like();
+        let (out, _) = fuse_elementwise(&t).unwrap();
+        let work = |tr: &ExecutionTrace| -> u64 {
+            tr.ops()
+                .iter()
+                .filter_map(|o| match *o.kind() {
+                    OpKind::Elementwise { elems, .. } => Some(elems as u64),
+                    _ => None,
+                })
+                .sum()
+        };
+        assert_eq!(work(&t), work(&out), "fusion must not drop lane work");
+    }
+
+    #[test]
+    fn fusion_does_not_merge_multi_consumer_producers() {
+        let mut b = TraceBuilder::new("fanout");
+        let a = b.push(
+            "a",
+            OpKind::Elementwise { elems: 8, func: EltFunc::Relu },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+        let _u = b.push(
+            "u",
+            OpKind::Elementwise { elems: 8, func: EltFunc::Mul },
+            Domain::Neural,
+            DType::Int8,
+            &[a],
+        );
+        let _v = b.push(
+            "v",
+            OpKind::Elementwise { elems: 8, func: EltFunc::Add },
+            Domain::Neural,
+            DType::Int8,
+            &[a],
+        );
+        let t = b.finish(1).unwrap();
+        let (out, stats) = fuse_elementwise(&t).unwrap();
+        assert_eq!(stats.removed(), 0, "fan-out producers must not fuse");
+        assert_eq!(out.ops().len(), 3);
+    }
+}

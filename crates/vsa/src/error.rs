@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Error type for vector-symbolic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VsaError {
+    /// Two block codes that must share geometry (block count and dimension)
+    /// did not.
+    GeometryMismatch {
+        /// Left operand geometry, rendered as `blocks×dim`.
+        lhs: String,
+        /// Right operand geometry, rendered as `blocks×dim`.
+        rhs: String,
+    },
+    /// A block code was constructed with zero blocks or zero dimension.
+    EmptyGeometry,
+    /// Backing data length disagrees with `n_blocks * block_dim`.
+    DataLengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// A codebook lookup or cleanup was attempted on an empty codebook.
+    EmptyCodebook,
+    /// A codeword index was out of range.
+    CodewordOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Codebook size.
+        len: usize,
+    },
+    /// The resonator was given factor codebooks with mismatched geometry.
+    FactorGeometryMismatch(String),
+}
+
+impl fmt::Display for VsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VsaError::GeometryMismatch { lhs, rhs } => {
+                write!(f, "block-code geometries {lhs} and {rhs} do not match")
+            }
+            VsaError::EmptyGeometry => {
+                write!(f, "block code requires at least one block and one element per block")
+            }
+            VsaError::DataLengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match geometry volume {expected}")
+            }
+            VsaError::EmptyCodebook => write!(f, "codebook contains no codewords"),
+            VsaError::CodewordOutOfRange { index, len } => {
+                write!(f, "codeword index {index} out of range for codebook of {len}")
+            }
+            VsaError::FactorGeometryMismatch(msg) => {
+                write!(f, "factor codebooks are inconsistent: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VsaError>();
+    }
+
+    #[test]
+    fn display_messages_nonempty() {
+        let errs = [
+            VsaError::GeometryMismatch { lhs: "4×256".into(), rhs: "4×128".into() },
+            VsaError::EmptyGeometry,
+            VsaError::DataLengthMismatch { expected: 1024, actual: 512 },
+            VsaError::EmptyCodebook,
+            VsaError::CodewordOutOfRange { index: 9, len: 4 },
+            VsaError::FactorGeometryMismatch("x".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Radix-2 FFT-accelerated circular convolution.
+//!
+//! The reference kernels in [`crate::ops`] are O(d²) — the same arithmetic
+//! the AdArray performs — which is what the microsimulator cross-checks.
+//! Software consumers (the reasoning pipeline, large-scale experiments)
+//! want the O(d·log d) path: convolution via the convolution theorem,
+//! `a ⊛ b = IFFT(FFT(a)·FFT(b))`. For non-power-of-two lengths the
+//! implementation falls back to the direct kernel, keeping the function
+//! total over all inputs.
+
+use crate::{ops, BlockCode, Result};
+
+/// Complex number as a bare `(re, im)` pair — enough for an in-crate FFT
+/// without growing the dependency set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Complex {
+    re: f64,
+    im: f64,
+}
+
+impl Complex {
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex { re: self.re + other.re, im: self.im + other.im }
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex { re: self.re - other.re, im: self.im - other.im }
+    }
+
+    fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics (debug) if `data.len()` is not a power of two.
+fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex { re: ang.cos(), im: ang.sin() };
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex { re: 1.0, im: 0.0 };
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.re *= inv_n;
+            x.im *= inv_n;
+        }
+    }
+}
+
+/// Circular convolution via the convolution theorem; falls back to the
+/// direct O(d²) kernel for non-power-of-two lengths.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn circular_convolve_fast(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "operand lengths must match");
+    if !n.is_power_of_two() || n < 8 {
+        return ops::circular_convolve(a, b);
+    }
+    let mut fa: Vec<Complex> =
+        a.iter().map(|&x| Complex { re: x as f64, im: 0.0 }).collect();
+    let mut fb: Vec<Complex> =
+        b.iter().map(|&x| Complex { re: x as f64, im: 0.0 }).collect();
+    fft_in_place(&mut fa, false);
+    fft_in_place(&mut fb, false);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = x.mul(*y);
+    }
+    fft_in_place(&mut fa, true);
+    fa.into_iter().map(|c| c.re as f32).collect()
+}
+
+/// Circular correlation via the spectrum (`FFT(a)·conj(FFT(b))`); exact
+/// counterpart of [`crate::ops::circular_correlate`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn circular_correlate_fast(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "operand lengths must match");
+    if !n.is_power_of_two() || n < 8 {
+        return ops::circular_correlate(a, b);
+    }
+    let mut fa: Vec<Complex> =
+        a.iter().map(|&x| Complex { re: x as f64, im: 0.0 }).collect();
+    let mut fb: Vec<Complex> =
+        b.iter().map(|&x| Complex { re: x as f64, im: 0.0 }).collect();
+    fft_in_place(&mut fa, false);
+    fft_in_place(&mut fb, false);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = x.mul(y.conj());
+    }
+    fft_in_place(&mut fa, true);
+    fa.into_iter().map(|c| c.re as f32).collect()
+}
+
+/// Blockwise binding through the fast path — drop-in accelerated
+/// equivalent of [`crate::ops::bind`].
+///
+/// # Errors
+///
+/// Returns [`crate::VsaError::GeometryMismatch`] if geometries differ.
+pub fn bind_fast(a: &BlockCode, b: &BlockCode) -> Result<BlockCode> {
+    a.check_geometry(b)?;
+    let (nb, bd) = (a.n_blocks(), a.block_dim());
+    let mut data = Vec::with_capacity(nb * bd);
+    for blk in 0..nb {
+        let start = blk * bd;
+        data.extend(circular_convolve_fast(
+            &a.data()[start..start + bd],
+            &b.data()[start..start + bd],
+        ));
+    }
+    BlockCode::from_vec(nb, bd, data)
+}
+
+/// Blockwise inverse binding through the fast path — drop-in accelerated
+/// equivalent of [`crate::ops::unbind`].
+///
+/// # Errors
+///
+/// Returns [`crate::VsaError::GeometryMismatch`] if geometries differ.
+pub fn unbind_fast(bound: &BlockCode, b: &BlockCode) -> Result<BlockCode> {
+    bound.check_geometry(b)?;
+    let (nb, bd) = (bound.n_blocks(), bound.block_dim());
+    let mut data = Vec::with_capacity(nb * bd);
+    for blk in 0..nb {
+        let start = blk * bd;
+        data.extend(circular_correlate_fast(
+            &bound.data()[start..start + bd],
+            &b.data()[start..start + bd],
+        ));
+    }
+    BlockCode::from_vec(nb, bd, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randvec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn fast_convolution_matches_direct_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [8usize, 16, 64, 256, 1024] {
+            let a = randvec(n, &mut rng);
+            let b = randvec(n, &mut rng);
+            let fast = circular_convolve_fast(&a, &b);
+            let direct = ops::circular_convolve(&a, &b);
+            for (f, d) in fast.iter().zip(&direct) {
+                assert!((f - d).abs() < 1e-3, "n={n}: {f} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_correlation_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [8usize, 32, 128] {
+            let a = randvec(n, &mut rng);
+            let b = randvec(n, &mut rng);
+            let fast = circular_correlate_fast(&a, &b);
+            let direct = ops::circular_correlate(&a, &b);
+            for (f, d) in fast.iter().zip(&direct) {
+                assert!((f - d).abs() < 1e-3, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_falls_back_to_direct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = randvec(12, &mut rng);
+        let b = randvec(12, &mut rng);
+        assert_eq!(circular_convolve_fast(&a, &b), ops::circular_convolve(&a, &b));
+        let c = randvec(3, &mut rng);
+        let d = randvec(3, &mut rng);
+        assert_eq!(circular_convolve_fast(&c, &d), ops::circular_convolve(&c, &d));
+    }
+
+    #[test]
+    fn fast_bind_unbind_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let book = crate::Codebook::random_unitary(3, 4, 128, &mut rng);
+        let bound = bind_fast(book.codeword(0), book.codeword(1)).unwrap();
+        let recovered = unbind_fast(&bound, book.codeword(1)).unwrap();
+        let sim = recovered.similarity(book.codeword(0)).unwrap();
+        assert!(sim > 0.999, "fast round trip sim {sim}");
+    }
+
+    #[test]
+    fn fast_bind_matches_reference_bind() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let book = crate::Codebook::random_bipolar(2, 2, 64, &mut rng);
+        let fast = bind_fast(book.codeword(0), book.codeword(1)).unwrap();
+        let slow = ops::bind(book.codeword(0), book.codeword(1)).unwrap();
+        for (f, s) in fast.data().iter().zip(slow.data()) {
+            assert!((f - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fast_bind_rejects_geometry_mismatch() {
+        let a = BlockCode::zeros(2, 8);
+        let b = BlockCode::zeros(1, 16);
+        assert!(bind_fast(&a, &b).is_err());
+        assert!(unbind_fast(&a, &b).is_err());
+    }
+
+    #[test]
+    fn fft_identity_delta() {
+        // delta ⊛ x == x through the fast path too.
+        let mut delta = vec![0.0f32; 16];
+        delta[0] = 1.0;
+        let x: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let out = circular_convolve_fast(&x, &delta);
+        for (o, v) in out.iter().zip(&x) {
+            assert!((o - v).abs() < 1e-4);
+        }
+    }
+}

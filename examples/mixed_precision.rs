@@ -1,0 +1,56 @@
+//! Mixed precision end to end: what INT8/INT4 buys in memory and on-chip
+//! resources, and what it costs in reasoning accuracy.
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision
+//! ```
+
+use nsflow::arch::PrecisionConfig;
+use nsflow::core::NsFlow;
+use nsflow::tensor::DType;
+use nsflow::workloads::accuracy::{evaluate, model_memory_bytes, EvalConfig, Precision};
+use nsflow::workloads::suites::Suite;
+use nsflow::workloads::traces;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = traces::nvsa();
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+
+    println!("NVSA model footprint across precisions:");
+    for p in Precision::table4_columns() {
+        println!(
+            "  {:<5} {:>7.1} MB",
+            p.label,
+            mb(model_memory_bytes(workload.nn_params, workload.symbolic_elems, p))
+        );
+    }
+    let fp32 = model_memory_bytes(workload.nn_params, workload.symbolic_elems, Precision::fp32());
+    let mp = model_memory_bytes(workload.nn_params, workload.symbolic_elems, Precision::mixed());
+    println!("  → mixed precision saves {:.1}× (paper: 5.8×)", fp32 as f64 / mp as f64);
+
+    println!("\nreasoning accuracy (RAVEN-like, 60 tasks per point):");
+    let cfg = EvalConfig { tasks: 60 };
+    for p in Precision::table4_columns() {
+        let r = evaluate(Suite::RavenLike, p, &cfg, 7);
+        println!("  {:<5} {:>5.1}%", p.label, 100.0 * r.accuracy);
+    }
+
+    println!("\nFPGA deployment at each precision pair:");
+    for (label, precision) in [
+        ("FP16/FP16", PrecisionConfig::uniform(DType::Fp16)),
+        ("INT8/INT8", PrecisionConfig::uniform(DType::Int8)),
+        ("INT8/INT4 (paper MP)", PrecisionConfig::mixed()),
+    ] {
+        let design =
+            NsFlow::new().with_precision(precision).compile(traces::nvsa().trace)?;
+        println!(
+            "  {:<22} {} PEs, LUT {:>4.0}%  FF {:>4.0}%  DSP {:>4.0}%",
+            label,
+            design.array().total_pes(),
+            design.utilization.lut_pct,
+            design.utilization.ff_pct,
+            design.utilization.dsp_pct,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: compile a neuro-symbolic workload with the NSFlow frontend
+//! and run it on the simulated FPGA backend.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nsflow::core::NsFlow;
+use nsflow::trace::parser::{parse_trace, ModuleRegistry, ParsePrecision, LISTING1_NVSA};
+use nsflow::workloads::traces;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── 1. Ingest a workload ────────────────────────────────────────────
+    // Either parse an FX-style trace dump (the paper's Listing 1)…
+    let mut registry = ModuleRegistry::new();
+    registry.insert("conv2", 64 * 9); // reduction length of the conv module
+    let parsed = parse_trace(LISTING1_NVSA, "nvsa-snippet", &registry, ParsePrecision::default(), 8)?;
+    println!(
+        "parsed Listing 1: {} ops ({} NN, {} VSA, {} SIMD)",
+        parsed.ops().len(),
+        parsed.nn_nodes().len(),
+        parsed.vsa_nodes().len(),
+        parsed.simd_nodes().len()
+    );
+
+    // …or use one of the built-in workload models.
+    let workload = traces::nvsa();
+    println!(
+        "NVSA workload: {} ops/loop × {} loops, symbolic FLOP share {:.1}%",
+        workload.trace.ops().len(),
+        workload.trace.loop_count(),
+        100.0 * workload.trace.symbolic_flop_fraction()
+    );
+
+    // ── 2. Frontend: dataflow graph + two-phase DSE + planning ─────────
+    let design = NsFlow::new().compile(workload.trace)?;
+    println!(
+        "DSE chose AdArray {} ({} PEs), partition {:?}:{:?}, SIMD ×{}",
+        design.array(),
+        design.array().total_pes(),
+        design.mapping().n_l.first().unwrap_or(&0),
+        design.mapping().n_v.first().unwrap_or(&0),
+        design.config.simd_lanes
+    );
+    println!(
+        "U250 utilization: DSP {:.0}%  LUT {:.0}%  FF {:.0}%  BRAM {:.0}%  URAM {:.0}%",
+        design.utilization.dsp_pct,
+        design.utilization.lut_pct,
+        design.utilization.ff_pct,
+        design.utilization.bram_pct,
+        design.utilization.uram_pct
+    );
+
+    // The emitted artifacts (design config + host schedule).
+    println!("\n--- design configuration ---\n{}", design.config_text());
+    let schedule = design.host_schedule();
+    println!("--- host schedule (first 5 lines) ---");
+    for line in schedule.lines().take(5) {
+        println!("{line}");
+    }
+
+    // ── 3. Backend: deploy and run on the cycle-level simulator ────────
+    let report = design.deploy().run();
+    println!(
+        "\nend-to-end: {} cycles = {:.3} ms @ 272 MHz (array utilization {:.0}%)",
+        report.cycles,
+        report.seconds * 1e3,
+        100.0 * report.array_utilization
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Scalability: how NSFlow absorbs growing symbolic workloads (the
+//! abstract's "only 4× runtime increase when symbolic workloads scale by
+//! 150×") and how it compares with a TPU-like systolic array across
+//! symbolic intensities.
+//!
+//! ```sh
+//! cargo run --release --example scalability
+//! ```
+
+use nsflow::core::NsFlow;
+use nsflow::sim::devices::{DeviceModel, TpuLikeArray};
+use nsflow::workloads::traces;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("symbolic-scale sweep (NVSA-like, NN part fixed):\n");
+    println!("{:>6} {:>14} {:>12} {:>10}", "scale", "NSFlow cycles", "vs ×1", "TPU-like");
+    let mut base_cycles = None;
+    for scale in [1usize, 5, 20, 50, 100, 150] {
+        let trace = traces::nvsa_scaled_symbolic(scale);
+        let design = NsFlow::new().compile(trace.clone())?;
+        let report = design.deploy().run();
+        let base = *base_cycles.get_or_insert(report.cycles);
+        let tpu = TpuLikeArray::new_128x128().run(&trace);
+        println!(
+            "{:>5}× {:>14} {:>11.2}× {:>9.1}ms",
+            scale,
+            report.cycles,
+            report.cycles as f64 / base as f64,
+            tpu.total_seconds() * 1e3
+        );
+    }
+    println!(
+        "\nThe symbolic part rides the AdArray's folded sub-arrays and\n\
+         overlaps the fixed NN pipeline, so a 150× symbolic scale-up costs\n\
+         only a few × in end-to-end latency (the paper reports ~4×)."
+    );
+    Ok(())
+}

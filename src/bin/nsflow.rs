@@ -1,0 +1,281 @@
+//! `nsflow` — command-line front door to the framework.
+//!
+//! ```text
+//! nsflow demo [nvsa|mimonet|lvrf|prae]          compile+run a built-in workload
+//! nsflow compile --trace FILE [options]         compile an FX-style trace dump
+//! nsflow devices                                list supported FPGA devices
+//! ```
+//!
+//! `compile` options:
+//!
+//! - `--registry conv1=147,conv2=576`  reduction lengths for GEMM modules
+//! - `--loops N`                       loop count (default 1)
+//! - `--device u250|zcu104`            target device (default u250)
+//! - `--precision mp|int8|fp16|fp32`   precision preset (default mp)
+//! - `--out DIR`                       write artifacts (config/schedule/RTL/Gantt)
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nsflow::arch::memory::TransferModel;
+use nsflow::arch::PrecisionConfig;
+use nsflow::core::NsFlow;
+use nsflow::fpga::FpgaDevice;
+use nsflow::sim::schedule::{run_pooled, SimOptions};
+use nsflow::tensor::DType;
+use nsflow::trace::parser::{parse_trace, ModuleRegistry, ParsePrecision};
+use nsflow::workloads::traces;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("demo") => demo(args.get(1).map_or("nvsa", String::as_str)),
+        Some("compile") => compile(parse_compile_args(&args[1..])?),
+        Some("devices") => {
+            for d in [FpgaDevice::u250(), FpgaDevice::zcu104()] {
+                println!(
+                    "{:<16} {:>6} DSP  {:>9} LUT  {:>5} BRAM blocks  {:>5} URAM blocks  {:.0} MHz",
+                    d.name(),
+                    d.dsps,
+                    d.luts,
+                    d.bram_blocks,
+                    d.uram_blocks,
+                    d.default_freq_hz / 1e6
+                );
+            }
+            Ok(())
+        }
+        _ => {
+            eprintln!("usage: nsflow <demo [workload] | compile --trace FILE ... | devices>");
+            Err("missing or unknown subcommand".into())
+        }
+    }
+}
+
+fn demo(name: &str) -> Result<(), String> {
+    let workload = match name {
+        "nvsa" => traces::nvsa(),
+        "mimonet" => traces::mimonet(),
+        "lvrf" => traces::lvrf(),
+        "prae" => traces::prae(),
+        other => return Err(format!("unknown workload {other} (nvsa|mimonet|lvrf|prae)")),
+    };
+    let design = NsFlow::new().compile(workload.trace).map_err(|e| e.to_string())?;
+    let report = design.deploy().run();
+    println!(
+        "{}: AdArray {} ({} PEs), SIMD ×{}, DSP {:.0}%  →  {:.3} ms end-to-end",
+        workload.name,
+        design.array(),
+        design.array().total_pes(),
+        design.config.simd_lanes,
+        design.utilization.dsp_pct,
+        report.seconds * 1e3
+    );
+    Ok(())
+}
+
+/// Parsed `compile` invocation.
+#[derive(Debug, Clone, PartialEq)]
+struct CompileArgs {
+    trace_path: PathBuf,
+    registry: ModuleRegistry,
+    loops: usize,
+    device: FpgaDevice,
+    precision: PrecisionConfig,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_compile_args(args: &[String]) -> Result<CompileArgs, String> {
+    let mut trace_path = None;
+    let mut registry = ModuleRegistry::new();
+    let mut loops = 1usize;
+    let mut device = FpgaDevice::u250();
+    let mut precision = PrecisionConfig::mixed();
+    let mut out_dir = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--trace" => trace_path = Some(PathBuf::from(value()?)),
+            "--registry" => {
+                for pair in value()?.split(',') {
+                    let (target, k) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad registry entry {pair} (want name=k)"))?;
+                    let k: usize =
+                        k.parse().map_err(|_| format!("non-numeric k in {pair}"))?;
+                    registry.insert(target.trim(), k);
+                }
+            }
+            "--loops" => {
+                loops = value()?.parse().map_err(|_| "non-numeric --loops".to_string())?;
+            }
+            "--device" => {
+                device = match value()?.as_str() {
+                    "u250" => FpgaDevice::u250(),
+                    "zcu104" => FpgaDevice::zcu104(),
+                    other => return Err(format!("unknown device {other} (u250|zcu104)")),
+                };
+            }
+            "--precision" => {
+                precision = match value()?.as_str() {
+                    "mp" => PrecisionConfig::mixed(),
+                    "int8" => PrecisionConfig::uniform(DType::Int8),
+                    "fp16" => PrecisionConfig::uniform(DType::Fp16),
+                    "fp32" => PrecisionConfig::uniform(DType::Fp32),
+                    other => return Err(format!("unknown precision {other}")),
+                };
+            }
+            "--out" => out_dir = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(CompileArgs {
+        trace_path: trace_path.ok_or("--trace is required")?,
+        registry,
+        loops,
+        device,
+        precision,
+        out_dir,
+    })
+}
+
+fn compile(args: CompileArgs) -> Result<(), String> {
+    let text = fs::read_to_string(&args.trace_path)
+        .map_err(|e| format!("read {}: {e}", args.trace_path.display()))?;
+    let name = args
+        .trace_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "workload".into());
+    let trace = parse_trace(
+        &text,
+        &name,
+        &args.registry,
+        ParsePrecision { neural: args.precision.neural, symbolic: args.precision.symbolic },
+        args.loops,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "parsed {name}: {} ops ({} NN, {} VSA, {} SIMD), {} loops",
+        trace.ops().len(),
+        trace.nn_nodes().len(),
+        trace.vsa_nodes().len(),
+        trace.simd_nodes().len(),
+        trace.loop_count()
+    );
+
+    let design = NsFlow::new()
+        .with_device(args.device)
+        .with_precision(args.precision)
+        .compile(trace)
+        .map_err(|e| e.to_string())?;
+    let report = design.deploy().run();
+    println!(
+        "design: AdArray {} ({} PEs), SIMD ×{}, DSP {:.0}% LUT {:.0}% BRAM {:.0}%",
+        design.array(),
+        design.array().total_pes(),
+        design.config.simd_lanes,
+        design.utilization.dsp_pct,
+        design.utilization.lut_pct,
+        design.utilization.bram_pct
+    );
+    println!(
+        "runtime: {} cycles = {:.3} ms @ {:.0} MHz",
+        report.cycles,
+        report.seconds * 1e3,
+        design.config.freq_hz / 1e6
+    );
+
+    if let Some(dir) = args.out_dir {
+        fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let schedule = run_pooled(
+            &design.graph,
+            design.array(),
+            design.mapping(),
+            &SimOptions {
+                simd_lanes: design.config.simd_lanes,
+                transfer: Some(TransferModel::default()),
+            },
+        );
+        let writes = [
+            ("design.cfg", design.config_text()),
+            ("host_schedule.txt", design.host_schedule()),
+            ("nsflow_top.sv", design.rtl_text()),
+            ("timeline.gantt.txt", schedule.to_gantt_text(&design.graph)),
+        ];
+        for (file, contents) in writes {
+            fs::write(dir.join(file), contents)
+                .map_err(|e| format!("write {file}: {e}"))?;
+            println!("wrote {}", dir.join(file).display());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn compile_args_parse_fully() {
+        let a = parse_compile_args(&s(&[
+            "--trace",
+            "t.txt",
+            "--registry",
+            "conv1=147,conv2=576",
+            "--loops",
+            "8",
+            "--device",
+            "zcu104",
+            "--precision",
+            "int8",
+            "--out",
+            "outdir",
+        ]))
+        .unwrap();
+        assert_eq!(a.trace_path, PathBuf::from("t.txt"));
+        assert_eq!(a.registry.k_for("conv1"), Some(147));
+        assert_eq!(a.registry.k_for("conv2"), Some(576));
+        assert_eq!(a.loops, 8);
+        assert_eq!(a.device.name(), "AMD ZCU104");
+        assert_eq!(a.precision, PrecisionConfig::uniform(DType::Int8));
+        assert_eq!(a.out_dir, Some(PathBuf::from("outdir")));
+    }
+
+    #[test]
+    fn compile_args_require_trace() {
+        assert!(parse_compile_args(&s(&["--loops", "2"])).unwrap_err().contains("--trace"));
+    }
+
+    #[test]
+    fn compile_args_reject_unknown() {
+        assert!(parse_compile_args(&s(&["--zap"])).is_err());
+        assert!(parse_compile_args(&s(&["--trace", "t", "--device", "vu9p"])).is_err());
+        assert!(parse_compile_args(&s(&["--trace", "t", "--registry", "noequals"])).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the full compile → deploy → run pipeline
+//! for every paper workload, plus the headline comparative claims at
+//! test-friendly scale (the bench binaries regenerate the full figures).
+
+use nsflow::core::NsFlow;
+use nsflow::fpga::design::DesignConfig;
+use nsflow::fpga::FpgaDevice;
+use nsflow::sim::devices::{Device, DeviceModel, DpuLike, TpuLikeArray};
+use nsflow::workloads::traces;
+
+#[test]
+fn every_workload_compiles_and_runs() {
+    for workload in traces::all() {
+        let design = NsFlow::new()
+            .compile(workload.trace.clone())
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", workload.name));
+        let report = design.deploy().run();
+        assert!(report.cycles > 0, "{} produced no cycles", workload.name);
+        assert!(
+            report.seconds < 1.0,
+            "{} unreasonably slow: {}s",
+            workload.name,
+            report.seconds
+        );
+        // The design always fits the U250 with margin.
+        assert!(design.utilization.dsp_pct <= 100.0);
+        assert!(design.utilization.bram_pct <= 100.0);
+    }
+}
+
+#[test]
+fn emitted_config_round_trips_for_every_workload() {
+    for workload in traces::all() {
+        let design = NsFlow::new().compile(workload.trace).unwrap();
+        let parsed = DesignConfig::parse(&design.config_text()).unwrap();
+        assert_eq!(parsed, design.config, "{} config drifted", workload.name);
+    }
+}
+
+#[test]
+fn host_schedule_covers_all_ops_for_every_workload() {
+    for workload in traces::all() {
+        let design = NsFlow::new().compile(workload.trace).unwrap();
+        let schedule = design.host_schedule();
+        let launches = schedule.lines().filter(|l| l.starts_with("launch")).count();
+        assert_eq!(
+            launches,
+            design.graph.trace().ops().len(),
+            "{} schedule incomplete",
+            workload.name
+        );
+    }
+}
+
+#[test]
+fn nsflow_beats_the_tpu_like_array_on_nvsa() {
+    let workload = traces::nvsa();
+    let design = NsFlow::new().compile(workload.trace.clone()).unwrap();
+    let nsflow_s = design.deploy().run().seconds;
+    let tpu_s = TpuLikeArray::new_128x128().run(&workload.trace).total_seconds();
+    let speedup = tpu_s / nsflow_s;
+    assert!(speedup > 2.0, "NSFlow vs TPU-like speedup only {speedup:.2}×");
+}
+
+#[test]
+fn nsflow_beats_the_dpu_on_symbolic_heavy_workloads() {
+    for workload in [traces::nvsa(), traces::lvrf()] {
+        let design = NsFlow::new().compile(workload.trace.clone()).unwrap();
+        let nsflow_s = design.deploy().run().seconds;
+        let dpu_s = DpuLike::new_b4096().run(&workload.trace).total_seconds();
+        assert!(
+            dpu_s / nsflow_s > 1.5,
+            "{}: DPU {}s vs NSFlow {}s",
+            workload.name,
+            dpu_s,
+            nsflow_s
+        );
+    }
+}
+
+#[test]
+fn symbolic_dominates_gpu_runtime_but_not_flops_for_nvsa() {
+    let workload = traces::nvsa();
+    let flop_share = workload.trace.symbolic_flop_fraction();
+    assert!(flop_share < 0.35, "symbolic FLOPs should be a minority: {flop_share}");
+    let gpu = Device::rtx_2080_ti().run(&workload.trace);
+    assert!(
+        gpu.symbolic_fraction() > 0.5,
+        "GPU symbolic runtime share only {:.2}",
+        gpu.symbolic_fraction()
+    );
+}
+
+#[test]
+fn edge_devices_are_slower_than_the_gpu_on_every_workload() {
+    for workload in traces::all() {
+        let gpu = Device::rtx_2080_ti().run(&workload.trace).total_seconds();
+        let tx2 = Device::jetson_tx2().run(&workload.trace).total_seconds();
+        let nx = Device::xavier_nx().run(&workload.trace).total_seconds();
+        assert!(tx2 > gpu, "{}: TX2 not slower than GPU", workload.name);
+        assert!(nx > gpu, "{}: NX not slower than GPU", workload.name);
+    }
+}
+
+#[test]
+fn symbolic_scaling_is_sublinear_on_nsflow() {
+    let base = NsFlow::new()
+        .compile(traces::nvsa_scaled_symbolic(1))
+        .unwrap()
+        .deploy()
+        .run()
+        .cycles;
+    let scaled = NsFlow::new()
+        .compile(traces::nvsa_scaled_symbolic(50))
+        .unwrap()
+        .deploy()
+        .run()
+        .cycles;
+    let growth = scaled as f64 / base as f64;
+    assert!(
+        growth < 5.0,
+        "50× symbolic growth should cost ≪50× runtime, got {growth:.1}×"
+    );
+}
+
+#[test]
+fn ablation_ratio_sweep_is_monotone_in_symbolic_work() {
+    let mut last_cycles = 0u64;
+    for ratio in [0.05, 0.4, 0.8] {
+        let (trace, achieved) = traces::nvsa_like_with_symbolic_ratio(ratio);
+        assert!((achieved - ratio).abs() < 0.1);
+        let design = NsFlow::new().compile(trace).unwrap();
+        let cycles = design.deploy().run().cycles;
+        assert!(
+            cycles >= last_cycles,
+            "more symbolic work cannot reduce total cycles"
+        );
+        last_cycles = cycles;
+    }
+}
+
+#[test]
+fn zcu104_hosts_a_smaller_feasible_design_for_small_workloads() {
+    let workload = traces::prae();
+    match NsFlow::new().with_device(FpgaDevice::zcu104()).compile(workload.trace) {
+        Ok(design) => {
+            assert!(design.array().total_pes() < 8192);
+            assert!(design.utilization.dsp_pct <= 100.0);
+        }
+        Err(e) => panic!("PrAE should fit the ZCU104: {e}"),
+    }
+}

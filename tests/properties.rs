@@ -1,0 +1,257 @@
+//! Property-based tests (proptest) on the core invariants: VSA algebra,
+//! microsimulator-vs-analytical-model agreement, DSE feasibility and
+//! schedule correctness on randomized workloads.
+
+use nsflow::arch::adarray::microsim;
+use nsflow::arch::{analytical, ArrayConfig, Mapping};
+use nsflow::dse::{explore, DseOptions};
+use nsflow::graph::DataflowGraph;
+use nsflow::nn::gemm;
+use nsflow::sim::schedule::{self, SimOptions};
+use nsflow::tensor::quant::QuantParams;
+use nsflow::tensor::DType;
+use nsflow::trace::{Domain, OpKind, TraceBuilder};
+use nsflow::vsa::ops;
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100i32..=100).prop_map(|v| v as f32 / 25.0)
+}
+
+fn vec_pair(len: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    len.prop_flat_map(|n| {
+        (
+            proptest::collection::vec(small_f32(), n),
+            proptest::collection::vec(small_f32(), n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ── VSA algebra ─────────────────────────────────────────────────────
+
+    #[test]
+    fn circular_convolution_commutes((a, b) in vec_pair(1..=24)) {
+        let ab = ops::circular_convolve(&a, &b);
+        let ba = ops::circular_convolve(&b, &a);
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn circular_convolution_associates((a, b) in vec_pair(1..=12), c_seed in 0u64..1000) {
+        let n = a.len();
+        let c: Vec<f32> = (0..n).map(|i| (((c_seed as usize + i * 7) % 13) as f32 - 6.0) / 6.0).collect();
+        let left = ops::circular_convolve(&ops::circular_convolve(&a, &b), &c);
+        let right = ops::circular_convolve(&a, &ops::circular_convolve(&b, &c));
+        for (x, y) in left.iter().zip(&right) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn correlation_inverts_convolution_via_involution((a, b) in vec_pair(1..=24)) {
+        // corr(x, b) == conv(x, involution(b)) for all x — the identity
+        // that lets the AdArray reuse its streaming path for unbinding.
+        let corr = ops::circular_correlate(&a, &b);
+        let conv = ops::circular_convolve(&a, &ops::involution(&b));
+        for (x, y) in corr.iter().zip(&conv) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn convolution_distributes_over_bundling((a, b) in vec_pair(1..=16), shift in 0usize..16) {
+        let n = a.len();
+        let c: Vec<f32> = (0..n).map(|i| b[(i + shift) % n]).collect();
+        // a ⊛ (b + c) == a ⊛ b + a ⊛ c
+        let sum: Vec<f32> = b.iter().zip(&c).map(|(x, y)| x + y).collect();
+        let lhs = ops::circular_convolve(&a, &sum);
+        let ab = ops::circular_convolve(&a, &b);
+        let ac = ops::circular_convolve(&a, &c);
+        for ((l, x), y) in lhs.iter().zip(&ab).zip(&ac) {
+            prop_assert!((l - (x + y)).abs() < 1e-2);
+        }
+    }
+
+    // ── Microsim ≡ analytical model ≡ functional kernels ────────────────
+
+    #[test]
+    fn circular_conv_microsim_matches_kernel_and_timing(
+        (a, b) in vec_pair(1..=20),
+        extra_height in 0usize..12,
+    ) {
+        let d = a.len();
+        let h = d + extra_height;
+        let sim = microsim::circular_conv_column(h, &a, &b).unwrap();
+        let reference = ops::circular_convolve(&a, &b);
+        for (s, r) in sim.outputs.iter().zip(&reference) {
+            prop_assert!((s - r).abs() < 1e-2);
+        }
+        prop_assert_eq!(sim.cycles, (3 * h + d - 1) as u64);
+    }
+
+    #[test]
+    fn gemm_microsim_matches_kernel_and_eq1(
+        m in 1usize..8, k in 1usize..20, n in 1usize..20,
+        h in 4usize..12, w in 4usize..12, n_l in 1usize..4,
+    ) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i % 11) as f32 - 5.0) / 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 7) as f32 - 3.0) / 3.0).collect();
+        let sim = microsim::nn_layer(h, w, n_l, &a, &b, m, k, n).unwrap();
+        let reference = gemm::matmul(&a, &b, m, k, n);
+        for (s, r) in sim.outputs.iter().zip(&reference) {
+            prop_assert!((s - r).abs() < 1e-2);
+        }
+        let cfg = ArrayConfig::new(h, w, n_l).unwrap();
+        prop_assert_eq!(sim.cycles, analytical::nn_layer_cycles(&cfg, n_l, m, n, k));
+    }
+
+    // ── Quantization ────────────────────────────────────────────────────
+
+    #[test]
+    fn fake_quantization_error_is_bounded(values in proptest::collection::vec(small_f32(), 1..64)) {
+        for dtype in [DType::Int8, DType::Int4] {
+            let q = QuantParams::fit(&values, dtype).unwrap();
+            for &v in &values {
+                let err = (q.fake_quantize(v) - v).abs();
+                prop_assert!(err <= q.max_rounding_error() + 1e-6);
+            }
+        }
+    }
+
+    // ── FFT path ≡ direct kernels ───────────────────────────────────────
+
+    #[test]
+    fn fft_convolution_matches_direct(
+        exp in 3u32..9,
+        seed in 0u64..500,
+    ) {
+        let n = 1usize << exp;
+        let a: Vec<f32> = (0..n).map(|i| ((seed as usize + i * 13) % 17) as f32 / 8.5 - 1.0).collect();
+        let b: Vec<f32> = (0..n).map(|i| ((seed as usize + i * 7) % 19) as f32 / 9.5 - 1.0).collect();
+        let fast = nsflow::vsa::fft::circular_convolve_fast(&a, &b);
+        let direct = ops::circular_convolve(&a, &b);
+        for (f, d) in fast.iter().zip(&direct) {
+            prop_assert!((f - d).abs() < 1e-2, "{f} vs {d}");
+        }
+    }
+
+    // ── Sparse block codes ≡ dense one-hot circular convolution ─────────
+
+    #[test]
+    fn sparse_binding_equals_dense_convolution(
+        idx_a in proptest::collection::vec(0usize..16, 1..5),
+        shift in 0usize..16,
+    ) {
+        use nsflow::vsa::sparse::{dense_equivalence_check, SparseBlockCode};
+        let idx_b: Vec<usize> = idx_a.iter().map(|&i| (i + shift) % 16).collect();
+        let a = SparseBlockCode::new(idx_a, 16).unwrap();
+        let b = SparseBlockCode::new(idx_b, 16).unwrap();
+        prop_assert!(dense_equivalence_check(&a, &b).unwrap());
+        // Exact inversion, always.
+        prop_assert_eq!(a.bind(&b).unwrap().unbind(&b).unwrap(), a);
+    }
+
+    // ── Trace emitter round trip ────────────────────────────────────────
+
+    #[test]
+    fn emitted_traces_reparse_to_the_same_structure(
+        nn_layers in 1usize..4,
+        vsa_nodes in 0usize..4,
+        m in 1usize..512,
+        loops in 1usize..5,
+    ) {
+        use nsflow::trace::emitter::{emit_trace, structural_signature};
+        use nsflow::trace::parser::{parse_trace, ParsePrecision};
+        let mut b = TraceBuilder::new("rt");
+        let mut prev = None;
+        for i in 0..nn_layers {
+            let inputs: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.push(
+                format!("conv{i}"),
+                OpKind::Gemm { m, n: 16, k: 32 },
+                Domain::Neural,
+                DType::Int8,
+                &inputs,
+            ));
+        }
+        for j in 0..vsa_nodes {
+            let inputs: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.push(
+                format!("bind{j}"),
+                OpKind::VsaConv { n_vec: 4, dim: 64 },
+                Domain::Symbolic,
+                DType::Int4,
+                &inputs,
+            ));
+        }
+        let original = b.finish(loops).unwrap();
+        let (text, registry) = emit_trace(&original);
+        let reparsed = parse_trace(&text, "rt", &registry, Default::default(), loops).unwrap();
+        prop_assert_eq!(structural_signature(&reparsed), structural_signature(&original));
+        let _ = ParsePrecision::default();
+    }
+
+    // ── DSE + scheduling on randomized workloads ────────────────────────
+
+    #[test]
+    fn dse_and_schedule_invariants_hold(
+        nn_layers in 1usize..4,
+        vsa_nodes in 1usize..5,
+        m in 16usize..512,
+        dim_exp in 5u32..10,
+        loops in 1usize..6,
+    ) {
+        let mut b = TraceBuilder::new("random");
+        let mut prev = None;
+        for i in 0..nn_layers {
+            let inputs: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.push(
+                format!("conv{i}"),
+                OpKind::Gemm { m, n: 32 << (i % 3), k: 64 },
+                Domain::Neural,
+                DType::Int8,
+                &inputs,
+            ));
+        }
+        for j in 0..vsa_nodes {
+            let inputs: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.push(
+                format!("bind{j}"),
+                OpKind::VsaConv { n_vec: 4, dim: 1 << dim_exp },
+                Domain::Symbolic,
+                DType::Int4,
+                &inputs,
+            ));
+        }
+        let graph = DataflowGraph::from_trace(b.finish(loops).unwrap());
+        let opts = DseOptions { max_pes: 2048, iter_max: 4, ..DseOptions::default() };
+        let result = explore(&graph, &opts);
+
+        // Budget and mapping feasibility.
+        prop_assert!(result.config.total_pes() <= opts.max_pes);
+        result.mapping.validate(&result.config, nn_layers, vsa_nodes).unwrap();
+
+        // The schedule respects dependencies and resources.
+        let sched = schedule::run(
+            &graph,
+            &result.config,
+            &result.mapping,
+            &SimOptions { simd_lanes: 64, transfer: None },
+        );
+        let mut end_of = std::collections::HashMap::new();
+        for so in sched.ops() {
+            for dep in graph.trace().op(so.op).inputs() {
+                let dep_end = end_of.get(&(so.loop_idx, dep.index())).copied().unwrap_or(0);
+                prop_assert!(so.start >= dep_end);
+            }
+            end_of.insert((so.loop_idx, so.op.index()), so.end);
+        }
+        // The schedule is never faster than the analytical single-loop bound.
+        prop_assert!(sched.total_cycles() >= result.timing.t_loop);
+    }
+}
