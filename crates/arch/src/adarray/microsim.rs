@@ -48,7 +48,11 @@ pub fn circular_conv_column(height: usize, a: &[f32], b: &[f32]) -> Result<SimRe
     let d = a.len();
     if d == 0 || b.len() != d {
         return Err(ArchError::MicrosimCapacity {
-            message: format!("operand lengths {} and {} must match and be nonzero", d, b.len()),
+            message: format!(
+                "operand lengths {} and {} must match and be nonzero",
+                d,
+                b.len()
+            ),
         });
     }
     if d > height {
@@ -59,8 +63,9 @@ pub fn circular_conv_column(height: usize, a: &[f32], b: &[f32]) -> Result<SimRe
     let h = height;
 
     // Stationary vector occupies the bottom d PEs.
-    let stationary: Vec<f32> =
-        (0..h).map(|pe| if pe >= h - d { a[pe - (h - d)] } else { 0.0 }).collect();
+    let stationary: Vec<f32> = (0..h)
+        .map(|pe| if pe >= h - d { a[pe - (h - d)] } else { 0.0 })
+        .collect();
 
     let total_cycles = 3 * h + d - 1;
     let mut passing: Vec<Option<f32>> = vec![None; h];
@@ -85,21 +90,15 @@ pub fn circular_conv_column(height: usize, a: &[f32], b: &[f32]) -> Result<SimRe
         let mut new_passing = vec![None; h];
         let mut new_streaming = vec![None; h];
         new_passing[0] = input;
-        for pe in 1..h {
-            new_passing[pe] = streaming[pe - 1];
-        }
-        for pe in 0..h {
-            new_streaming[pe] = passing[pe];
-        }
+        new_passing[1..].copy_from_slice(&streaming[..h - 1]);
+        new_streaming.copy_from_slice(&passing);
 
         // Partial-sum injection: wave n enters PE 0's MAC at cycle 2H + n.
         let mut psum_in: Vec<Option<(usize, f32)>> = vec![None; h];
         if t >= 2 * h && t - 2 * h < d {
             psum_in[0] = Some((t - 2 * h, 0.0));
         }
-        for pe in 1..h {
-            psum_in[pe] = psum_out[pe - 1];
-        }
+        psum_in[1..].copy_from_slice(&psum_out[..h - 1]);
 
         // MAC stage.
         let mut new_psum_out: Vec<Option<(usize, f32)>> = vec![None; h];
@@ -125,8 +124,15 @@ pub fn circular_conv_column(height: usize, a: &[f32], b: &[f32]) -> Result<SimRe
         psum_out = new_psum_out;
     }
 
-    debug_assert!(out_seen.iter().all(|&s| s), "every output index must be produced");
-    Ok(SimResult { outputs, cycles: last_output_cycle, busy_pe_cycles: busy })
+    debug_assert!(
+        out_seen.iter().all(|&s| s),
+        "every output index must be produced"
+    );
+    Ok(SimResult {
+        outputs,
+        cycles: last_output_cycle,
+        busy_pe_cycles: busy,
+    })
 }
 
 /// Simulates one weight-stationary GEMM tile on an `H×W` sub-array region.
@@ -150,7 +156,9 @@ pub fn gemm_tile(
     n: usize,
 ) -> Result<SimResult> {
     if m == 0 || k == 0 || n == 0 {
-        return Err(ArchError::MicrosimCapacity { message: "zero GEMM dimension".into() });
+        return Err(ArchError::MicrosimCapacity {
+            message: "zero GEMM dimension".into(),
+        });
     }
     if n > height || k > width {
         return Err(ArchError::MicrosimCapacity {
@@ -158,7 +166,9 @@ pub fn gemm_tile(
         });
     }
     if a.len() != m * k || b.len() != k * n {
-        return Err(ArchError::MicrosimCapacity { message: "operand buffer sizes wrong".into() });
+        return Err(ArchError::MicrosimCapacity {
+            message: "operand buffer sizes wrong".into(),
+        });
     }
 
     let total_cycles = (2 * height + width + m - 2) as u64;
@@ -180,7 +190,11 @@ pub fn gemm_tile(
             outputs[t * n + r] = acc;
         }
     }
-    Ok(SimResult { outputs, cycles: total_cycles, busy_pe_cycles: busy })
+    Ok(SimResult {
+        outputs,
+        cycles: total_cycles,
+        busy_pe_cycles: busy,
+    })
 }
 
 /// Simulates a full NN layer `(m, n, k)` on `n_l` sub-arrays by tiling:
@@ -206,10 +220,14 @@ pub fn nn_layer(
     n: usize,
 ) -> Result<SimResult> {
     if n_l == 0 {
-        return Err(ArchError::MicrosimCapacity { message: "n_l must be nonzero".into() });
+        return Err(ArchError::MicrosimCapacity {
+            message: "n_l must be nonzero".into(),
+        });
     }
     if a.len() != m * k || b.len() != k * n {
-        return Err(ArchError::MicrosimCapacity { message: "operand buffer sizes wrong".into() });
+        return Err(ArchError::MicrosimCapacity {
+            message: "operand buffer sizes wrong".into(),
+        });
     }
     let per_sub = n.div_ceil(n_l); // output channels per sub-array
     let n_tiles_per_sub = per_sub.div_ceil(height);
@@ -260,7 +278,11 @@ pub fn nn_layer(
     // Sub-arrays run their tile queues in parallel; the serial depth per
     // sub-array is n_tiles_per_sub · k_tiles.
     let cycles = tile_latency * (n_tiles_per_sub as u64) * (k_tiles as u64);
-    Ok(SimResult { outputs, cycles, busy_pe_cycles: busy })
+    Ok(SimResult {
+        outputs,
+        cycles,
+        busy_pe_cycles: busy,
+    })
 }
 
 /// Simulates a whole VSA node under **temporal mapping** (eq. (4)): the
@@ -291,10 +313,14 @@ pub fn vsa_node_temporal(
     dim: usize,
 ) -> Result<SimResult> {
     if n_vec == 0 || dim == 0 || n_v == 0 {
-        return Err(ArchError::MicrosimCapacity { message: "zero VSA dimension".into() });
+        return Err(ArchError::MicrosimCapacity {
+            message: "zero VSA dimension".into(),
+        });
     }
     if a.len() != n_vec * dim || b.len() != n_vec * dim {
-        return Err(ArchError::MicrosimCapacity { message: "operand buffer sizes wrong".into() });
+        return Err(ArchError::MicrosimCapacity {
+            message: "operand buffer sizes wrong".into(),
+        });
     }
     if dim > height && !dim.is_multiple_of(height) {
         return Err(ArchError::MicrosimCapacity {
@@ -339,7 +365,11 @@ pub fn vsa_node_temporal(
     let t = (3 * height + dim - 1) as u64;
     let vec_batches = n_vec.div_ceil(width) as u64;
     let folds = dim.div_ceil(height * n_v) as u64;
-    Ok(SimResult { outputs, cycles: vec_batches * folds * t, busy_pe_cycles: busy })
+    Ok(SimResult {
+        outputs,
+        cycles: vec_batches * folds * t,
+        busy_pe_cycles: busy,
+    })
 }
 
 #[cfg(test)]
@@ -417,7 +447,9 @@ mod tests {
 
     #[test]
     fn gemm_tile_rejects_oversize() {
-        assert!(gemm_tile(4, 4, &[0.0; 8], &[0.0; 10], 2, 4, 5).is_err().to_owned());
+        assert!(gemm_tile(4, 4, &[0.0; 8], &[0.0; 10], 2, 4, 5)
+            .is_err()
+            .to_owned());
         assert!(gemm_tile(4, 4, &[0.0; 10], &[0.0; 8], 2, 5, 4).is_err());
     }
 
@@ -449,7 +481,10 @@ mod tests {
             let sim = nn_layer(h, w, n_l, &a, &b, m, k, n).unwrap();
             let cfg = ArrayConfig::new(h, w, n_l).unwrap();
             let expected = analytical::nn_layer_cycles(&cfg, n_l, m, n, k);
-            assert_eq!(sim.cycles, expected, "h={h} w={w} n_l={n_l} m={m} k={k} n={n}");
+            assert_eq!(
+                sim.cycles, expected,
+                "h={h} w={w} n_l={n_l} m={m} k={k} n={n}"
+            );
         }
     }
 

@@ -89,7 +89,10 @@ impl AdArray {
     pub fn fold(&mut self, n_nn: usize, n_vsa: usize) -> Result<()> {
         let n = self.config.n_subarrays();
         if n_nn + n_vsa > n {
-            return Err(ArchError::SubArrayOverflow { requested: n_nn + n_vsa, available: n });
+            return Err(ArchError::SubArrayOverflow {
+                requested: n_nn + n_vsa,
+                available: n,
+            });
         }
         for (i, role) in self.roles.iter_mut().enumerate() {
             *role = if i < n_nn {
@@ -106,13 +109,19 @@ impl AdArray {
     /// Number of sub-arrays in the NN region.
     #[must_use]
     pub fn nn_subarrays(&self) -> usize {
-        self.roles.iter().filter(|r| **r == SubArrayRole::Nn).count()
+        self.roles
+            .iter()
+            .filter(|r| **r == SubArrayRole::Nn)
+            .count()
     }
 
     /// Number of sub-arrays running VSA streams.
     #[must_use]
     pub fn vsa_subarrays(&self) -> usize {
-        self.roles.iter().filter(|r| **r == SubArrayRole::Vsa).count()
+        self.roles
+            .iter()
+            .filter(|r| **r == SubArrayRole::Vsa)
+            .count()
     }
 
     /// PEs in the NN region.
@@ -171,7 +180,12 @@ mod tests {
         a.fold(2, 1).unwrap();
         assert_eq!(
             a.roles(),
-            &[SubArrayRole::Nn, SubArrayRole::Nn, SubArrayRole::Vsa, SubArrayRole::Idle]
+            &[
+                SubArrayRole::Nn,
+                SubArrayRole::Nn,
+                SubArrayRole::Vsa,
+                SubArrayRole::Idle
+            ]
         );
         assert_eq!(a.nn_pes(), 2 * 32);
         assert_eq!(a.vsa_pes(), 32);
@@ -181,7 +195,10 @@ mod tests {
     #[test]
     fn fold_rejects_oversubscription() {
         let mut a = array();
-        assert!(matches!(a.fold(3, 2), Err(ArchError::SubArrayOverflow { .. })));
+        assert!(matches!(
+            a.fold(3, 2),
+            Err(ArchError::SubArrayOverflow { .. })
+        ));
         // Roles unchanged after failed fold.
         assert_eq!(a.nn_subarrays(), 0);
     }

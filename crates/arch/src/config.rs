@@ -39,7 +39,11 @@ impl ArrayConfig {
         if n_subarrays == 0 {
             return Err(ArchError::ZeroDimension("sub-array count".into()));
         }
-        Ok(ArrayConfig { height, width, n_subarrays })
+        Ok(ArrayConfig {
+            height,
+            width,
+            n_subarrays,
+        })
     }
 
     /// Sub-array height `H` (rows of PEs).
@@ -123,13 +127,21 @@ impl Mapping {
     /// Uniform mapping: every NN node gets `nl`, every VSA node gets `nv`.
     #[must_use]
     pub fn uniform(nn_nodes: usize, vsa_nodes: usize, nl: usize, nv: usize) -> Self {
-        Mapping { n_l: vec![nl; nn_nodes], n_v: vec![nv; vsa_nodes], parallel: true }
+        Mapping {
+            n_l: vec![nl; nn_nodes],
+            n_v: vec![nv; vsa_nodes],
+            parallel: true,
+        }
     }
 
     /// Sequential mapping: every node gets the whole array in turn.
     #[must_use]
     pub fn sequential(nn_nodes: usize, vsa_nodes: usize, n: usize) -> Self {
-        Mapping { n_l: vec![n; nn_nodes], n_v: vec![n; vsa_nodes], parallel: false }
+        Mapping {
+            n_l: vec![n; nn_nodes],
+            n_v: vec![n; vsa_nodes],
+            parallel: false,
+        }
     }
 
     /// Checks the mapping against a configuration and node counts.
@@ -140,12 +152,7 @@ impl Mapping {
     /// lengths, [`ArchError::ZeroDimension`] if any assignment is zero,
     /// and [`ArchError::SubArrayOverflow`] if a concurrent NN+VSA pair
     /// exceeds `N` (parallel mode) or any single assignment exceeds `N`.
-    pub fn validate(
-        &self,
-        config: &ArrayConfig,
-        nn_nodes: usize,
-        vsa_nodes: usize,
-    ) -> Result<()> {
+    pub fn validate(&self, config: &ArrayConfig, nn_nodes: usize, vsa_nodes: usize) -> Result<()> {
         if self.n_l.len() != nn_nodes {
             return Err(ArchError::MappingLengthMismatch {
                 what: "NN".into(),
@@ -166,7 +173,10 @@ impl Mapping {
                 return Err(ArchError::ZeroDimension("sub-array assignment".into()));
             }
             if a > n {
-                return Err(ArchError::SubArrayOverflow { requested: a, available: n });
+                return Err(ArchError::SubArrayOverflow {
+                    requested: a,
+                    available: n,
+                });
             }
         }
         Ok(())
@@ -192,10 +202,13 @@ impl Mapping {
         }
         let n = config.n_subarrays();
         for &(i, j) in concurrent_pairs {
-            let need = self.n_l.get(i).copied().unwrap_or(0)
-                + self.n_v.get(j).copied().unwrap_or(0);
+            let need =
+                self.n_l.get(i).copied().unwrap_or(0) + self.n_v.get(j).copied().unwrap_or(0);
             if need > n {
-                return Err(ArchError::SubArrayOverflow { requested: need, available: n });
+                return Err(ArchError::SubArrayOverflow {
+                    requested: need,
+                    available: n,
+                });
             }
         }
         Ok(())
@@ -216,13 +229,19 @@ impl PrecisionConfig {
     /// The paper's mixed-precision deployment (INT8 NN / INT4 symbolic).
     #[must_use]
     pub fn mixed() -> Self {
-        PrecisionConfig { neural: DType::Int8, symbolic: DType::Int4 }
+        PrecisionConfig {
+            neural: DType::Int8,
+            symbolic: DType::Int4,
+        }
     }
 
     /// Uniform precision for both domains.
     #[must_use]
     pub fn uniform(dtype: DType) -> Self {
-        PrecisionConfig { neural: dtype, symbolic: dtype }
+        PrecisionConfig {
+            neural: dtype,
+            symbolic: dtype,
+        }
     }
 }
 
@@ -268,7 +287,7 @@ mod tests {
     fn concurrent_pairs_cannot_oversubscribe() {
         let cfg = ArrayConfig::new(8, 8, 4).unwrap();
         let m = Mapping::uniform(1, 1, 3, 2); // 3 + 2 > 4 if concurrent
-        // Basic validation passes — each assignment individually fits…
+                                              // Basic validation passes — each assignment individually fits…
         assert!(m.validate(&cfg, 1, 1).is_ok());
         // …but declaring the pair concurrent exposes the overflow.
         assert!(matches!(
@@ -291,8 +310,15 @@ mod tests {
     #[test]
     fn zero_assignment_rejected() {
         let cfg = ArrayConfig::new(8, 8, 4).unwrap();
-        let m = Mapping { n_l: vec![0], n_v: vec![1], parallel: true };
-        assert!(matches!(m.validate(&cfg, 1, 1), Err(ArchError::ZeroDimension(_))));
+        let m = Mapping {
+            n_l: vec![0],
+            n_v: vec![1],
+            parallel: true,
+        };
+        assert!(matches!(
+            m.validate(&cfg, 1, 1),
+            Err(ArchError::ZeroDimension(_))
+        ));
     }
 
     #[test]

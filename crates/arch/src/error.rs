@@ -34,10 +34,20 @@ impl fmt::Display for ArchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArchError::ZeroDimension(what) => write!(f, "{what} must be nonzero"),
-            ArchError::SubArrayOverflow { requested, available } => {
-                write!(f, "mapping requests {requested} sub-arrays but only {available} exist")
+            ArchError::SubArrayOverflow {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "mapping requests {requested} sub-arrays but only {available} exist"
+                )
             }
-            ArchError::MappingLengthMismatch { what, expected, actual } => {
+            ArchError::MappingLengthMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what} mapping has length {actual}, expected {expected}")
             }
             ArchError::MicrosimCapacity { message } => {
@@ -61,9 +71,14 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        assert!(!ArchError::ZeroDimension("height".into()).to_string().is_empty());
-        assert!(!ArchError::SubArrayOverflow { requested: 5, available: 4 }
+        assert!(!ArchError::ZeroDimension("height".into())
             .to_string()
             .is_empty());
+        assert!(!ArchError::SubArrayOverflow {
+            requested: 5,
+            available: 4
+        }
+        .to_string()
+        .is_empty());
     }
 }

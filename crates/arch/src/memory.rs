@@ -101,7 +101,10 @@ impl TransferModel {
     #[must_use]
     pub fn new(bytes_per_cycle: f64) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
-        TransferModel { bytes_per_cycle, double_buffered: true }
+        TransferModel {
+            bytes_per_cycle,
+            double_buffered: true,
+        }
     }
 
     /// Creates a single-buffered model (transfers serialize with compute).
@@ -112,7 +115,10 @@ impl TransferModel {
     #[must_use]
     pub fn single_buffered(bytes_per_cycle: f64) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
-        TransferModel { bytes_per_cycle, double_buffered: false }
+        TransferModel {
+            bytes_per_cycle,
+            double_buffered: false,
+        }
     }
 
     /// Raw cycles to move `bytes` off-chip ↔ on-chip.
@@ -138,7 +144,10 @@ impl TransferModel {
 impl Default for TransferModel {
     fn default() -> Self {
         // 512-bit AXI @ array clock, double-buffered.
-        TransferModel { bytes_per_cycle: 64.0, double_buffered: true }
+        TransferModel {
+            bytes_per_cycle: 64.0,
+            double_buffered: true,
+        }
     }
 }
 

@@ -99,29 +99,47 @@ mod tests {
 
     #[test]
     fn elementwise_scales_with_width() {
-        let k = OpKind::Elementwise { elems: 1024, func: EltFunc::Relu };
+        let k = OpKind::Elementwise {
+            elems: 1024,
+            func: EltFunc::Relu,
+        };
         assert_eq!(op_cycles(&k, 64), 16);
         assert_eq!(op_cycles(&k, 128), 8);
     }
 
     #[test]
     fn expensive_functions_cost_more() {
-        let relu = OpKind::Elementwise { elems: 256, func: EltFunc::Relu };
-        let smax = OpKind::Elementwise { elems: 256, func: EltFunc::Softmax };
+        let relu = OpKind::Elementwise {
+            elems: 256,
+            func: EltFunc::Relu,
+        };
+        let smax = OpKind::Elementwise {
+            elems: 256,
+            func: EltFunc::Softmax,
+        };
         assert!(op_cycles(&smax, 64) > op_cycles(&relu, 64));
     }
 
     #[test]
     fn reduction_adds_tree_latency() {
-        let k = OpKind::Reduce { elems: 64, func: ReduceFunc::Sum };
+        let k = OpKind::Reduce {
+            elems: 64,
+            func: ReduceFunc::Sum,
+        };
         assert_eq!(op_cycles(&k, 64), 1 + 6);
-        let norm = OpKind::Reduce { elems: 64, func: ReduceFunc::Norm };
+        let norm = OpKind::Reduce {
+            elems: 64,
+            func: ReduceFunc::Norm,
+        };
         assert!(op_cycles(&norm, 64) > op_cycles(&k, 64));
     }
 
     #[test]
     fn similarity_costs_dot_plus_softmax() {
-        let k = OpKind::Similarity { n_vec: 7, dim: 1024 };
+        let k = OpKind::Similarity {
+            n_vec: 7,
+            dim: 1024,
+        };
         let c = op_cycles(&k, 64);
         assert_eq!(c, 7 * (16 + 6) + 10);
     }
@@ -134,7 +152,10 @@ mod tests {
 
     #[test]
     fn minimal_lanes_finds_smallest_sufficient_width() {
-        let ops = vec![OpKind::Elementwise { elems: 4096, func: EltFunc::Relu }];
+        let ops = vec![OpKind::Elementwise {
+            elems: 4096,
+            func: EltFunc::Relu,
+        }];
         // 4096/64 = 64 cycles at 64 lanes.
         assert_eq!(minimal_lanes(&ops, 64, 1024), 64);
         assert_eq!(minimal_lanes(&ops, 512, 1024), 8);

@@ -92,7 +92,10 @@ pub fn reduce(inputs: &[f32], func: ReduceFunc, lanes: usize) -> SimdSimResult {
         ReduceFunc::Norm => raw.sqrt(),
         _ => raw,
     };
-    SimdSimResult { outputs: vec![result], cycles }
+    SimdSimResult {
+        outputs: vec![result],
+        cycles,
+    }
 }
 
 fn apply(func: EltFunc, x: f32) -> f32 {

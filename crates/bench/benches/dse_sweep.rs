@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of the DSE sweep paths: the serial
+//! trace-walking reference vs the memoized cycle-table engine (one
+//! thread) vs the threaded sweep, plus the two-phase `explore` on top.
+//!
+//! ```sh
+//! cargo bench -p nsflow-bench --bench dse_sweep
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nsflow_dse::exhaustive::{exhaustive_uniform, exhaustive_uniform_reference};
+use nsflow_dse::{explore, phase1, phase1_reference, DseOptions};
+use nsflow_graph::DataflowGraph;
+use nsflow_workloads::traces;
+
+fn opts(threads: Option<usize>) -> DseOptions {
+    DseOptions {
+        max_pes: 1 << 12,
+        threads,
+        ..DseOptions::default()
+    }
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let graph = DataflowGraph::from_trace(traces::nvsa().trace);
+
+    c.bench_function("exhaustive_uniform/reference", |b| {
+        let o = opts(Some(1));
+        b.iter(|| black_box(exhaustive_uniform_reference(black_box(&graph), &o)));
+    });
+    c.bench_function("exhaustive_uniform/table_1thread", |b| {
+        let o = opts(Some(1));
+        b.iter(|| black_box(exhaustive_uniform(black_box(&graph), &o)));
+    });
+    c.bench_function("exhaustive_uniform/table_parallel", |b| {
+        let o = opts(None);
+        b.iter(|| black_box(exhaustive_uniform(black_box(&graph), &o)));
+    });
+    c.bench_function("phase1/reference", |b| {
+        let o = opts(Some(1));
+        b.iter(|| black_box(phase1_reference(black_box(&graph), &o)));
+    });
+    c.bench_function("phase1/table_parallel", |b| {
+        let o = opts(None);
+        b.iter(|| black_box(phase1(black_box(&graph), &o)));
+    });
+    c.bench_function("explore/two_phase", |b| {
+        let o = opts(None);
+        b.iter(|| black_box(explore(black_box(&graph), &o)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sweeps
+}
+criterion_main!(benches);

@@ -54,14 +54,17 @@ fn bench_nn_kernels(c: &mut Criterion) {
     c.bench_function("microsim_nn_layer_16x8x2_m32", |bch| {
         let act = randvec(32 * 40, &mut rng);
         let wt = randvec(40 * 24, &mut rng);
-        bch.iter(|| microsim::nn_layer(16, 8, 2, black_box(&act), black_box(&wt), 32, 40, 24).unwrap())
+        bch.iter(|| {
+            microsim::nn_layer(16, 8, 2, black_box(&act), black_box(&wt), 32, 40, 24).unwrap()
+        })
     });
 }
 
 fn bench_resonator(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let books: Vec<Codebook> =
-        (0..3).map(|_| Codebook::random_unitary(8, 4, 64, &mut rng)).collect();
+    let books: Vec<Codebook> = (0..3)
+        .map(|_| Codebook::random_unitary(8, 4, 64, &mut rng))
+        .collect();
     let target = books[0]
         .codeword(2)
         .bind(books[1].codeword(5))
@@ -70,7 +73,10 @@ fn bench_resonator(c: &mut Criterion) {
         .unwrap();
     let res = Resonator::new(books).unwrap();
     c.bench_function("resonator_factorize_3x8_d256", |b| {
-        b.iter(|| res.factorize(black_box(&target), ResonatorConfig::default()).unwrap())
+        b.iter(|| {
+            res.factorize(black_box(&target), ResonatorConfig::default())
+                .unwrap()
+        })
     });
 }
 
@@ -81,12 +87,24 @@ fn bench_frontend(c: &mut Criterion) {
     });
     let graph = DataflowGraph::from_trace(trace);
     let opts = DseOptions::default();
-    c.bench_function("dse_explore_nvsa", |b| b.iter(|| explore(black_box(&graph), &opts)));
+    c.bench_function("dse_explore_nvsa", |b| {
+        b.iter(|| explore(black_box(&graph), &opts))
+    });
 
     let result = explore(&graph, &opts);
-    let sim_opts = SimOptions { simd_lanes: 64, transfer: None };
+    let sim_opts = SimOptions {
+        simd_lanes: 64,
+        transfer: None,
+    };
     c.bench_function("schedule_run_nvsa_8_loops", |b| {
-        b.iter(|| schedule::run(black_box(&graph), &result.config, &result.mapping, &sim_opts))
+        b.iter(|| {
+            schedule::run(
+                black_box(&graph),
+                &result.config,
+                &result.mapping,
+                &sim_opts,
+            )
+        })
     });
 
     let cfg = ArrayConfig::new(16, 16, 4).unwrap();

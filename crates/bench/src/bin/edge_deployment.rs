@@ -23,8 +23,15 @@ fn main() {
     let mut rows = Vec::new();
     for workload in traces::all() {
         for device in [FpgaDevice::u250(), FpgaDevice::zcu104()] {
-            let short = if device.name().contains("U250") { "U250" } else { "ZCU104" };
-            match NsFlow::new().with_device(device).compile(workload.trace.clone()) {
+            let short = if device.name().contains("U250") {
+                "U250"
+            } else {
+                "ZCU104"
+            };
+            match NsFlow::new()
+                .with_device(device)
+                .compile(workload.trace.clone())
+            {
                 Ok(design) => {
                     let report = design.deploy().run();
                     let batch = design.deploy().run_batch(16);

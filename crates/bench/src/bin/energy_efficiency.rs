@@ -39,14 +39,20 @@ fn main() {
             report.seconds * 1e3,
             ns_energy
         );
-        rows.push(format!("{},NSFlow,{ns_watts:.2},{},{ns_energy:.5}", workload.name, report.seconds));
+        rows.push(format!(
+            "{},NSFlow,{ns_watts:.2},{},{ns_energy:.5}",
+            workload.name, report.seconds
+        ));
 
         let baselines: Vec<(Box<dyn DeviceModel>, DevicePower)> = vec![
             (Box::new(Device::jetson_tx2()), DevicePower::jetson_tx2()),
             (Box::new(Device::xavier_nx()), DevicePower::xavier_nx()),
             (Box::new(Device::rtx_2080_ti()), DevicePower::rtx_2080_ti()),
             (Box::new(Device::coral_tpu()), DevicePower::coral_tpu()),
-            (Box::new(TpuLikeArray::new_128x128()), DevicePower::tpu_like()),
+            (
+                Box::new(TpuLikeArray::new_128x128()),
+                DevicePower::tpu_like(),
+            ),
             (Box::new(DpuLike::new_b4096()), DevicePower::dpu_like()),
         ];
         let mut best_ratio = f64::INFINITY;
@@ -75,5 +81,9 @@ fn main() {
             ""
         );
     }
-    write_csv("energy_efficiency.csv", "workload,device,watts,seconds,joules", &rows);
+    write_csv(
+        "energy_efficiency.csv",
+        "workload,device,watts,seconds,joules",
+        &rows,
+    );
 }

@@ -56,7 +56,10 @@ fn main() {
 
     // ── Fig. 1b: end-to-end latency per device ─────────────────────────
     const REAL_TIME_S: f64 = 0.1; // 10 inferences/s target
-    println!("\nFig. 1b — end-to-end latency per device (real-time bound {}):", fmt_seconds(REAL_TIME_S));
+    println!(
+        "\nFig. 1b — end-to-end latency per device (real-time bound {}):",
+        fmt_seconds(REAL_TIME_S)
+    );
     let devices: Vec<Device> = vec![
         Device::coral_tpu(),
         Device::jetson_tx2(),
@@ -79,7 +82,14 @@ fn main() {
             cells.push(format!("{t}"));
             meets_real_time |= t <= REAL_TIME_S;
         }
-        println!("{}", if meets_real_time { "" } else { "   [misses real-time]" });
+        println!(
+            "{}",
+            if meets_real_time {
+                ""
+            } else {
+                "   [misses real-time]"
+            }
+        );
         rows_b.push(cells.join(","));
     }
     write_csv(
@@ -89,8 +99,14 @@ fn main() {
     );
 
     // ── Fig. 1c: roofline of the RTX 2080 Ti ───────────────────────────
-    println!("\nFig. 1c — RTX 2080 Ti roofline (ridge at {:.1} FLOP/B):", Roof::rtx_2080_ti().ridge_intensity());
-    println!("{:<22} {:>16} {:>18} {:>10}", "kernel class", "intensity", "attainable", "bound");
+    println!(
+        "\nFig. 1c — RTX 2080 Ti roofline (ridge at {:.1} FLOP/B):",
+        Roof::rtx_2080_ti().ridge_intensity()
+    );
+    println!(
+        "{:<22} {:>16} {:>18} {:>10}",
+        "kernel class", "intensity", "attainable", "bound"
+    );
     let roof = Roof::rtx_2080_ti();
     let mut rows_c = Vec::new();
     for w in &workloads {
@@ -109,5 +125,9 @@ fn main() {
         }
     }
     println!("(paper: symbolic modules are memory-bounded, neural modules compute-bounded)");
-    write_csv("fig1c_roofline.csv", "label,intensity_flop_per_byte,attainable_flops,bound", &rows_c);
+    write_csv(
+        "fig1c_roofline.csv",
+        "label,intensity_flop_per_byte,attainable_flops,bound",
+        &rows_c,
+    );
 }

@@ -20,7 +20,10 @@ fn tasks() -> Vec<(&'static str, ExecutionTrace)> {
         ("CVR (MIMONet)", traces::mimonet().trace),
         (
             "SVRT (MIMONet)",
-            traces::mimonet().trace.with_loop_count(8).expect("nonzero loops"),
+            traces::mimonet()
+                .trace
+                .with_loop_count(8)
+                .expect("nonzero loops"),
         ),
         ("SVRT (LVRF)", traces::lvrf().trace),
         ("RAVEN (PrAE)", traces::prae().trace),
@@ -48,7 +51,9 @@ fn main() {
     let mut rows = Vec::new();
     let task_list = tasks();
     for (name, trace) in &task_list {
-        let design = NsFlow::new().compile(trace.clone()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let design = NsFlow::new()
+            .compile(trace.clone())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let ns = design.deploy().run().seconds;
         print!("{:<16} {:>12}", name, fmt_seconds(ns));
         let mut cells = vec![name.to_string(), format!("{ns}")];
@@ -73,7 +78,9 @@ fn main() {
     println!();
     rows.push(geo_cells.join(","));
 
-    println!("\npaper shape: ~31× vs TX2, ~18× vs NX, >2× vs GPU, up to 8× vs TPU-like, >3× vs DPU");
+    println!(
+        "\npaper shape: ~31× vs TX2, ~18× vs NX, >2× vs GPU, up to 8× vs TPU-like, >3× vs DPU"
+    );
     write_csv(
         "fig5_speedup.csv",
         "task,nsflow_s,tx2_x,nx_x,xeon_x,rtx2080ti_x,tpu_like_x,dpu_x",

@@ -79,7 +79,10 @@ fn scheduled_cycles(graph: &DataflowGraph, cfg: &ArrayConfig, mapping: &Mapping)
         graph,
         cfg,
         mapping,
-        &SimOptions { simd_lanes: SIMD_LANES, transfer: None },
+        &SimOptions {
+            simd_lanes: SIMD_LANES,
+            transfer: None,
+        },
     )
     .total_cycles()
 }
@@ -94,12 +97,19 @@ fn refine_per_node(graph: &DataflowGraph, cfg: &ArrayConfig, start: &Mapping) ->
     for _sweep in 0..6 {
         let mut improved = false;
         for field in 0..2 {
-            let len = if field == 0 { best.n_l.len() } else { best.n_v.len() };
+            let len = if field == 0 {
+                best.n_l.len()
+            } else {
+                best.n_v.len()
+            };
             for i in 0..len {
                 for delta in [1i64, -1] {
                     let mut cand = best.clone();
-                    let slot =
-                        if field == 0 { &mut cand.n_l[i] } else { &mut cand.n_v[i] };
+                    let slot = if field == 0 {
+                        &mut cand.n_l[i]
+                    } else {
+                        &mut cand.n_v[i]
+                    };
                     let new = *slot as i64 + delta;
                     if new < 1 || new > n as i64 {
                         continue;
@@ -142,7 +152,11 @@ fn main() {
 
         // Phase II: start from the analytical refinement (Algorithm 1),
         // then the per-node pooled-objective polish.
-        let opts = DseOptions { iter_max: 16, simd_lanes: SIMD_LANES, ..DseOptions::default() };
+        let opts = DseOptions {
+            iter_max: 16,
+            simd_lanes: SIMD_LANES,
+            ..DseOptions::default()
+        };
         let (alg1, _) = phase2(&graph, &cfg, &static_mapping, &opts);
         let seed = if scheduled_cycles(&graph, &cfg, &alg1) <= p1_cycles {
             alg1

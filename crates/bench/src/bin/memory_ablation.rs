@@ -19,7 +19,9 @@ use nsflow_workloads::traces;
 
 fn main() {
     let workload = traces::nvsa();
-    let design = NsFlow::new().compile(workload.trace).expect("NVSA fits the U250");
+    let design = NsFlow::new()
+        .compile(workload.trace)
+        .expect("NVSA fits the U250");
     let dep = design.deploy();
     let lanes = design.config.simd_lanes;
 
@@ -30,8 +32,10 @@ fn main() {
     );
     let mut rows = Vec::new();
     for bpc in [256.0f64, 64.0, 16.0, 4.0] {
-        let db = dep
-            .run_with(&SimOptions { simd_lanes: lanes, transfer: Some(TransferModel::new(bpc)) });
+        let db = dep.run_with(&SimOptions {
+            simd_lanes: lanes,
+            transfer: Some(TransferModel::new(bpc)),
+        });
         let sb = dep.run_with(&SimOptions {
             simd_lanes: lanes,
             transfer: Some(TransferModel::single_buffered(bpc)),

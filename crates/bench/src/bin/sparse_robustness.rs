@@ -64,15 +64,27 @@ fn sparse_accuracy(dtype: DType, seed: u64) -> f64 {
 
 fn main() {
     println!("Code-family quantization robustness — RAVEN-like, {TASKS} tasks per cell:\n");
-    println!("{:>8} {:>16} {:>16}", "dtype", "dense unitary", "sparse one-hot");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "dtype", "dense unitary", "sparse one-hot"
+    );
     let mut rows = Vec::new();
     for dtype in [DType::Fp32, DType::Int8, DType::Int4] {
         let dense = dense_accuracy(dtype, 17);
         let sparse = sparse_accuracy(dtype, 17);
-        println!("{:>8} {:>15.1}% {:>15.1}%", dtype.to_string(), 100.0 * dense, 100.0 * sparse);
+        println!(
+            "{:>8} {:>15.1}% {:>15.1}%",
+            dtype.to_string(),
+            100.0 * dense,
+            100.0 * sparse
+        );
         rows.push(format!("{dtype},{dense:.4},{sparse:.4}"));
     }
     println!("\nsparse block codes keep their accuracy at INT4 because quantization only");
     println!("has to preserve each block's argmax — the property NVSA's design relies on.");
-    write_csv("sparse_robustness.csv", "dtype,dense_accuracy,sparse_accuracy", &rows);
+    write_csv(
+        "sparse_robustness.csv",
+        "dtype,dense_accuracy,sparse_accuracy",
+        &rows,
+    );
 }

@@ -33,7 +33,12 @@ fn main() {
         let mut cells = vec![w.to_string()];
         for &d in &dtypes {
             let mut rng = StdRng::seed_from_u64(1000 + w as u64);
-            let cfg = CapacityConfig { dtype: d, block_dim: 32, items: 64, ..CapacityConfig::default() };
+            let cfg = CapacityConfig {
+                dtype: d,
+                block_dim: 32,
+                items: 64,
+                ..CapacityConfig::default()
+            };
             let r = measure_capacity(&cfg, w, trials, &mut rng);
             print!(" {:>7.1}%", 100.0 * r.retrieval_accuracy);
             cells.push(format!("{:.4}", r.retrieval_accuracy));

@@ -32,7 +32,10 @@ fn main() {
         .count();
 
     println!("Tab. II — design-space size (m = 10, {nodes} mapped nodes):\n");
-    println!("{:<10} {:>24} {:>22}", "", "HW config (H, W, N)", "mapping (N_l, N_v)");
+    println!(
+        "{:<10} {:>24} {:>22}",
+        "", "HW config (H, W, N)", "mapping (N_l, N_v)"
+    );
     println!(
         "{:<10} {:>24} {:>22}",
         "original",
@@ -49,7 +52,10 @@ fn main() {
     let row = space::table2_row(10, nodes, pruned_pairs, 16, opts.iter_max, nn);
     println!("\ntotal design-space size:");
     println!("  original : 10^{:.0}", row.original_log10);
-    println!("  DAG      : 10^{:.1}  ({} points actually evaluated in Phase I)", row.dag_log10, result.phase1_points);
+    println!(
+        "  DAG      : 10^{:.1}  ({} points actually evaluated in Phase I)",
+        row.dag_log10, result.phase1_points
+    );
     println!(
         "  reduction: {} orders of magnitude (paper: \"reduced by 100 magnitudes\", 10^300 → 10^3)",
         row.reduction_magnitudes() as u64

@@ -79,7 +79,10 @@ fn main() {
             design.array(),
             paper.config
         );
-        println!("  default partition: ours {nl}:{nv} | paper {}", paper.partition);
+        println!(
+            "  default partition: ours {nl}:{nv} | paper {}",
+            paper.partition
+        );
         println!("  SIMD size: {}", design.config.simd_lanes);
         println!(
             "  memory (MemA1, MemA2, MemB, MemC | cache): {:.2}, {:.2}, {:.2}, {:.2} | {:.2} MB",

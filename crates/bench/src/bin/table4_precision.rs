@@ -37,7 +37,10 @@ fn main() {
     let cfg = EvalConfig { tasks: 200 };
     let columns = Precision::table4_columns();
 
-    println!("Tab. IV — reasoning accuracy, {} tasks per cell (ours / paper):\n", cfg.tasks);
+    println!(
+        "Tab. IV — reasoning accuracy, {} tasks per cell (ours / paper):\n",
+        cfg.tasks
+    );
     print!("{:<14}", "suite");
     for p in &columns {
         print!(" {:>16}", p.label);

@@ -180,14 +180,18 @@ impl NsFlow {
         if resources.utilization_on(&self.device).is_err() && lanes > provisional_lanes {
             let corrected_budget =
                 (max_pes_for(&self.device, &self.precision, lanes) as f64 * 0.9) as usize;
-            let corrected_opts =
-                DseOptions { max_pes: corrected_budget, simd_lanes: lanes, ..dse_opts };
+            let corrected_opts = DseOptions {
+                max_pes: corrected_budget,
+                simd_lanes: lanes,
+                ..dse_opts
+            };
             dse = explore(&graph, &corrected_opts);
             resources = estimate(&dse.config, &self.precision, lanes, &plan);
         }
         let timing = analytical::loop_timing(&graph, &dse.config, &dse.mapping, lanes);
-        let utilization =
-            resources.utilization_on(&self.device).map_err(CompileError::DeviceTooSmall)?;
+        let utilization = resources
+            .utilization_on(&self.device)
+            .map_err(CompileError::DeviceTooSmall)?;
 
         let default_partition = (
             dse.mapping.n_l.first().copied().unwrap_or(0),
@@ -202,7 +206,14 @@ impl NsFlow {
             precision: self.precision,
             freq_hz: self.device.default_freq_hz,
         };
-        Ok(Design { graph, dse, timing, config, resources, utilization })
+        Ok(Design {
+            graph,
+            dse,
+            timing,
+            config,
+            resources,
+            utilization,
+        })
     }
 }
 
@@ -385,7 +396,11 @@ mod tests {
         let mut b = TraceBuilder::new("small");
         let c = b.push(
             "conv",
-            OpKind::Gemm { m: 1024, n: 64, k: 128 },
+            OpKind::Gemm {
+                m: 1024,
+                n: 64,
+                k: 128,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
@@ -399,7 +414,10 @@ mod tests {
         );
         let _s = b.push(
             "sim",
-            OpKind::Similarity { n_vec: 8, dim: 2048 },
+            OpKind::Similarity {
+                n_vec: 8,
+                dim: 2048,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[v],
@@ -443,8 +461,16 @@ mod tests {
 
     #[test]
     fn more_loops_cost_more_cycles() {
-        let d4 = NsFlow::new().compile(small_trace(4)).unwrap().deploy().run();
-        let d8 = NsFlow::new().compile(small_trace(8)).unwrap().deploy().run();
+        let d4 = NsFlow::new()
+            .compile(small_trace(4))
+            .unwrap()
+            .deploy()
+            .run();
+        let d8 = NsFlow::new()
+            .compile(small_trace(8))
+            .unwrap()
+            .deploy()
+            .run();
         assert!(d8.cycles > d4.cycles);
     }
 
@@ -452,7 +478,10 @@ mod tests {
     fn small_device_yields_smaller_design_or_error() {
         let trace = small_trace(4);
         let big = NsFlow::new().compile(trace.clone()).unwrap();
-        match NsFlow::new().with_device(FpgaDevice::zcu104()).compile(trace) {
+        match NsFlow::new()
+            .with_device(FpgaDevice::zcu104())
+            .compile(trace)
+        {
             Ok(small) => {
                 assert!(small.array().total_pes() < big.array().total_pes());
             }
@@ -466,28 +495,41 @@ mod tests {
         let mut b = TraceBuilder::new("opt");
         let c = b.push(
             "conv",
-            OpKind::Gemm { m: 512, n: 64, k: 64 },
+            OpKind::Gemm {
+                m: 512,
+                n: 64,
+                k: 64,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let r = b.push(
             "relu",
-            OpKind::Elementwise { elems: 4096, func: nsflow_trace::EltFunc::Relu },
+            OpKind::Elementwise {
+                elems: 4096,
+                func: nsflow_trace::EltFunc::Relu,
+            },
             Domain::Neural,
             DType::Int8,
             &[c],
         );
         let bn = b.push(
             "bn",
-            OpKind::Elementwise { elems: 4096, func: nsflow_trace::EltFunc::Affine },
+            OpKind::Elementwise {
+                elems: 4096,
+                func: nsflow_trace::EltFunc::Affine,
+            },
             Domain::Neural,
             DType::Int8,
             &[r],
         );
         let _dead = b.push(
             "debug_sum",
-            OpKind::Reduce { elems: 4096, func: nsflow_trace::ReduceFunc::Sum },
+            OpKind::Reduce {
+                elems: 4096,
+                func: nsflow_trace::ReduceFunc::Sum,
+            },
             Domain::Neural,
             DType::Int8,
             &[c],
@@ -530,7 +572,10 @@ mod tests {
     #[test]
     fn uniform_precision_is_respected_in_config() {
         let p = PrecisionConfig::uniform(DType::Int8);
-        let design = NsFlow::new().with_precision(p).compile(small_trace(2)).unwrap();
+        let design = NsFlow::new()
+            .with_precision(p)
+            .compile(small_trace(2))
+            .unwrap();
         assert_eq!(design.config.precision, p);
     }
 }

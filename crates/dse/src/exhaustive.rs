@@ -6,10 +6,19 @@
 //! heuristic against. `tests` in this module (and the optimality property
 //! test in the workspace `tests/`) assert that the two-phase result stays
 //! within a small factor of the exhaustive optimum.
+//!
+//! Like Phase I, the search comes in two bit-identical flavours:
+//! [`exhaustive_uniform`] (memoized cycle tables + threaded `(H, W)`
+//! sweep) and [`exhaustive_uniform_reference`] (the serial trace-walking
+//! implementation, kept as the equivalence/speedup baseline).
+
+use std::time::Instant;
 
 use nsflow_arch::{analytical, ArrayConfig, Mapping};
 use nsflow_graph::DataflowGraph;
 
+use crate::eval::{parallel_map, EvalEngine, SweepStats};
+use crate::phase1::{reduce_outcomes, Candidate, PairOutcome};
 use crate::DseOptions;
 
 /// Outcome of an exhaustive search.
@@ -24,6 +33,8 @@ pub struct ExhaustiveResult {
     pub t_loop: u64,
     /// Number of design points evaluated.
     pub points: usize,
+    /// Evaluation counters (memoization hits, tables built, wall time).
+    pub stats: SweepStats,
 }
 
 /// Exhaustively enumerates every `(H, W, N, N̄_l)` point (uniform static
@@ -32,51 +43,159 @@ pub struct ExhaustiveResult {
 /// pruned search: if pruning were hurting, the pruned result would fall
 /// behind this optimum.
 ///
+/// One cycle table per `(H, W)` geometry serves **every** sub-array count
+/// `N ∈ [1, N_max]` of that pair (per-node cycles are independent of `N`),
+/// so the sequential-mode point at each `N` and every `N̄_l` split are
+/// plain table lookups; candidate mappings are only materialized for the
+/// final winner, never per point. The `(H, W)` pairs sweep on
+/// [`DseOptions::threads`] workers with deterministic reduction — results
+/// are bit-identical to [`exhaustive_uniform_reference`].
+///
 /// # Panics
 ///
 /// Panics if no candidate configuration fits the PE budget.
 #[must_use]
 pub fn exhaustive_uniform(graph: &DataflowGraph, options: &DseOptions) -> ExhaustiveResult {
+    let start = Instant::now();
+    let trace = graph.trace();
+    let nn = trace.nn_nodes().len();
+    let vsa = trace.vsa_nodes().len();
+    let engine = EvalEngine::new(graph, options.simd_lanes);
+    let pairs = unpruned_pairs(options);
+    let threads = options.effective_threads();
+
+    let outcomes = parallel_map(&pairs, threads, |&(h, w, n_max)| {
+        let table = engine.build_table(h, w, n_max);
+        let mut best: Option<Candidate> = None;
+        let mut points = 0usize;
+        // Every sub-array count, not just the maximal one.
+        for n in 1..=n_max {
+            if nn > 0 && vsa > 0 && n >= 2 {
+                for nl in 1..n {
+                    let t = table.uniform_timing(nl, n - nl).t_loop;
+                    points += 1;
+                    if best.is_none_or(|b| t < b.t_loop) {
+                        best = Some(Candidate {
+                            t_loop: t,
+                            h,
+                            w,
+                            n,
+                            split: Some(nl),
+                        });
+                    }
+                }
+            }
+            let t = table.sequential_timing(n).t_loop;
+            points += 1;
+            if best.is_none_or(|b| t < b.t_loop) {
+                best = Some(Candidate {
+                    t_loop: t,
+                    h,
+                    w,
+                    n,
+                    split: None,
+                });
+            }
+        }
+        PairOutcome { best, points }
+    });
+
+    let (best, points, mut stats) = reduce_outcomes(&outcomes);
+    stats.threads = threads;
+    stats.wall = start.elapsed();
+    let c = best.expect("at least one configuration must fit");
+    let config = ArrayConfig::new(c.h, c.w, c.n).expect("nonzero dims");
+    let mapping = match c.split {
+        Some(nl) => Mapping::uniform(nn, vsa, nl, c.n - nl),
+        None => Mapping::sequential(nn, vsa, c.n),
+    };
+    debug_assert_eq!(
+        analytical::loop_timing(graph, &config, &mapping, options.simd_lanes).t_loop,
+        c.t_loop,
+        "cycle table diverged from loop_timing"
+    );
+    ExhaustiveResult {
+        config,
+        mapping,
+        t_loop: c.t_loop,
+        points,
+        stats,
+    }
+}
+
+/// The serial reference implementation: identical candidate order and
+/// tie-breaking, but every point builds a mapping and re-walks the trace
+/// through [`analytical::loop_timing`]. This is the seed implementation,
+/// kept verbatim as the proptest ground truth and the `dse_throughput`
+/// speedup baseline.
+///
+/// # Panics
+///
+/// Panics if no candidate configuration fits the PE budget.
+#[must_use]
+pub fn exhaustive_uniform_reference(
+    graph: &DataflowGraph,
+    options: &DseOptions,
+) -> ExhaustiveResult {
+    let start = Instant::now();
     let trace = graph.trace();
     let nn = trace.nn_nodes().len();
     let vsa = trace.vsa_nodes().len();
 
     let mut best: Option<ExhaustiveResult> = None;
     let mut points = 0usize;
-    for &h in &options.heights {
-        for &w in &options.widths {
-            if h * w > options.max_pes {
-                continue;
-            }
-            let n_max = (options.max_pes / (h * w)).min(options.max_subarrays);
-            // Every sub-array count, not just the maximal one.
-            for n in 1..=n_max {
-                let cfg = ArrayConfig::new(h, w, n).expect("nonzero dims");
-                let mut consider = |mapping: Mapping| {
-                    let t =
-                        analytical::loop_timing(graph, &cfg, &mapping, options.simd_lanes).t_loop;
-                    points += 1;
-                    if best.as_ref().is_none_or(|b| t < b.t_loop) {
-                        best = Some(ExhaustiveResult {
-                            config: cfg,
-                            mapping,
-                            t_loop: t,
-                            points: 0,
-                        });
-                    }
-                };
-                if nn > 0 && vsa > 0 && n >= 2 {
-                    for nl in 1..n {
-                        consider(Mapping::uniform(nn, vsa, nl, n - nl));
-                    }
+    for (h, w, n_max) in unpruned_pairs(options) {
+        for n in 1..=n_max {
+            let cfg = ArrayConfig::new(h, w, n).expect("nonzero dims");
+            let mut consider = |mapping: Mapping| {
+                let t = analytical::loop_timing(graph, &cfg, &mapping, options.simd_lanes).t_loop;
+                points += 1;
+                if best.as_ref().is_none_or(|b| t < b.t_loop) {
+                    best = Some(ExhaustiveResult {
+                        config: cfg,
+                        mapping,
+                        t_loop: t,
+                        points: 0,
+                        stats: SweepStats::default(),
+                    });
                 }
-                consider(Mapping::sequential(nn, vsa, n));
+            };
+            if nn > 0 && vsa > 0 && n >= 2 {
+                for nl in 1..n {
+                    consider(Mapping::uniform(nn, vsa, nl, n - nl));
+                }
             }
+            consider(Mapping::sequential(nn, vsa, n));
         }
     }
     let mut result = best.expect("at least one configuration must fit");
     result.points = points;
+    result.stats = SweepStats {
+        points_evaluated: points,
+        threads: 1,
+        wall: start.elapsed(),
+        ..SweepStats::default()
+    };
     result
+}
+
+/// Enumerates `(H, W, N_max)` without aspect pruning, in sweep order.
+fn unpruned_pairs(options: &DseOptions) -> Vec<(usize, usize, usize)> {
+    let (heights, widths) = options.normalized_dims();
+    let mut pairs = Vec::with_capacity(heights.len() * widths.len());
+    for &h in &heights {
+        for &w in &widths {
+            if h * w > options.max_pes {
+                continue;
+            }
+            let n_max = (options.max_pes / (h * w)).min(options.max_subarrays);
+            if n_max == 0 {
+                continue;
+            }
+            pairs.push((h, w, n_max));
+        }
+    }
+    pairs
 }
 
 #[cfg(test)]
@@ -90,21 +209,32 @@ mod tests {
         let mut b = TraceBuilder::new("g");
         let c1 = b.push(
             "conv1",
-            OpKind::Gemm { m: 2048, n: 96, k: 288 },
+            OpKind::Gemm {
+                m: 2048,
+                n: 96,
+                k: 288,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let c2 = b.push(
             "conv2",
-            OpKind::Gemm { m: 512, n: 192, k: 864 },
+            OpKind::Gemm {
+                m: 512,
+                n: 192,
+                k: 864,
+            },
             Domain::Neural,
             DType::Int8,
             &[c1],
         );
         let _v = b.push(
             "bind",
-            OpKind::VsaConv { n_vec: 48, dim: 1024 },
+            OpKind::VsaConv {
+                n_vec: 48,
+                dim: 1024,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[c2],
@@ -128,7 +258,12 @@ mod tests {
         let opts = small_opts();
         let ex = exhaustive_uniform(&g, &opts);
         let p1 = phase1(&g, &opts);
-        assert!(ex.points > p1.points_evaluated, "{} !> {}", ex.points, p1.points_evaluated);
+        assert!(
+            ex.points > p1.points_evaluated,
+            "{} !> {}",
+            ex.points,
+            p1.points_evaluated
+        );
     }
 
     #[test]
@@ -140,7 +275,10 @@ mod tests {
         let opts = small_opts();
         let ex = exhaustive_uniform(&g, &opts);
         let p1 = phase1(&g, &opts);
-        assert_eq!(p1.timing.t_loop, ex.t_loop, "phase 1 missed the uniform optimum");
+        assert_eq!(
+            p1.timing.t_loop, ex.t_loop,
+            "phase 1 missed the uniform optimum"
+        );
     }
 
     #[test]
@@ -165,7 +303,42 @@ mod tests {
         let g = graph(4);
         let opts = small_opts();
         let ex = exhaustive_uniform(&g, &opts);
-        let pruned = phase1(&g, &DseOptions { aspect_bounds: (0.25, 16.0), ..opts });
+        let pruned = phase1(
+            &g,
+            &DseOptions {
+                aspect_bounds: (0.25, 16.0),
+                ..opts
+            },
+        );
         assert_eq!(pruned.timing.t_loop, ex.t_loop);
+    }
+
+    #[test]
+    fn engine_path_matches_reference_bit_for_bit() {
+        let g = graph(4);
+        for threads in [Some(1), Some(3), None] {
+            let opts = DseOptions {
+                threads,
+                ..small_opts()
+            };
+            let fast = exhaustive_uniform(&g, &opts);
+            let slow = exhaustive_uniform_reference(&g, &opts);
+            assert_eq!(fast.config, slow.config);
+            assert_eq!(fast.mapping, slow.mapping);
+            assert_eq!(fast.t_loop, slow.t_loop);
+            assert_eq!(fast.points, slow.points);
+        }
+    }
+
+    #[test]
+    fn one_table_per_geometry() {
+        let g = graph(4);
+        let opts = small_opts();
+        let ex = exhaustive_uniform(&g, &opts);
+        // 4×4 candidate (H, W) pairs all fit max_pes = 2048 → 16 tables,
+        // regardless of how many (N, N̄_l) points each pair expands to.
+        assert_eq!(ex.stats.tables_built, 16);
+        assert_eq!(ex.stats.cache_hits, ex.points - ex.stats.tables_built);
+        assert!(ex.stats.points_evaluated == ex.points);
     }
 }

@@ -20,6 +20,15 @@
 //! [`explore`] runs both phases; [`space`] reproduces the Tab. II
 //! design-space accounting.
 //!
+//! All search paths evaluate candidates through the shared
+//! [`EvalEngine`]: per-`(H, W)` cycle tables turn the inner `N̄_l` sweep
+//! into O(1) lookups, the mapping-independent SIMD term is computed once,
+//! and the `(H, W)` pairs fan out over worker threads with deterministic
+//! reduction ([`SweepStats`] records points, cache hits and wall time).
+//! Serial trace-walking references ([`phase1_reference`],
+//! [`exhaustive::exhaustive_uniform_reference`]) are kept for equivalence
+//! proptests and speedup baselines.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,19 +49,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod eval;
 mod phase1;
 mod phase2;
 
 pub mod exhaustive;
 pub mod space;
 
-pub use phase1::{phase1, Phase1Result};
-pub use phase2::{phase2, vsa_span_of_layer};
+pub use eval::{CycleTable, EvalEngine, SweepStats};
+pub use phase1::{phase1, phase1_reference, Phase1Result};
+pub use phase2::{phase2, phase2_with_stats, vsa_span_of_layer, Phase2Outcome};
 
 use nsflow_arch::{analytical, ArrayConfig, Mapping};
 use nsflow_graph::DataflowGraph;
 
 /// Options controlling the exploration.
+///
+/// # Invariants
+///
+/// `heights` and `widths` are treated as candidate **sets**: every sweep
+/// first sorts them ascending and drops duplicates and zero entries
+/// ([`DseOptions::normalized_dims`]), so duplicated entries neither
+/// inflate `points_evaluated` nor change the search outcome, and the
+/// enumeration order (heights outer, widths inner, both ascending) is
+/// well defined regardless of how the lists were written.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DseOptions {
     /// Maximum PE budget `M` (FPGA resource bound); the paper uses
@@ -73,6 +93,11 @@ pub struct DseOptions {
     pub iter_max: usize,
     /// SIMD lanes assumed while evaluating timings.
     pub simd_lanes: usize,
+    /// Worker threads for the sweeps: `None` picks the host's available
+    /// parallelism, `Some(1)` forces a serial run. Results are
+    /// bit-identical at any thread count — parallelism only changes wall
+    /// time (see [`SweepStats`]).
+    pub threads: Option<usize>,
 }
 
 impl Default for DseOptions {
@@ -85,6 +110,32 @@ impl Default for DseOptions {
             max_subarrays: 16,
             iter_max: 16,
             simd_lanes: 64,
+            threads: None,
+        }
+    }
+}
+
+impl DseOptions {
+    /// The candidate dimension lists as sweeps actually consume them:
+    /// sorted ascending, deduplicated, zero entries dropped.
+    #[must_use]
+    pub fn normalized_dims(&self) -> (Vec<usize>, Vec<usize>) {
+        let norm = |dims: &[usize]| {
+            let mut v: Vec<usize> = dims.iter().copied().filter(|&d| d > 0).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        (norm(&self.heights), norm(&self.widths))
+    }
+
+    /// Resolves [`DseOptions::threads`] against the host: explicit value
+    /// if set (minimum 1), otherwise `std::thread::available_parallelism`.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            Some(t) => t.max(1),
+            None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         }
     }
 }
@@ -107,6 +158,9 @@ pub struct DseResult {
     /// Loop-time improvement of Phase II over Phase I, as a fraction
     /// (0.0 when Phase II could not improve).
     pub phase2_gain: f64,
+    /// Combined evaluation counters of both phases (points, cache hits,
+    /// tables built, wall time) — how the sweep spent its work.
+    pub stats: SweepStats,
 }
 
 /// Runs the full two-phase DSE over a dataflow graph.
@@ -124,8 +178,10 @@ pub fn explore(graph: &DataflowGraph, options: &DseOptions) -> DseResult {
     );
     let p1 = phase1(graph, options);
     let p1_loop = p1.timing.t_loop;
-    let (mapping, sweeps) = phase2(graph, &p1.config, &p1.mapping, options);
-    let timing = analytical::loop_timing(graph, &p1.config, &mapping, options.simd_lanes);
+    let p2 = phase2_with_stats(graph, &p1.config, &p1.mapping, options);
+    let mut stats = p1.stats;
+    stats.absorb(&p2.stats);
+    let timing = analytical::loop_timing(graph, &p1.config, &p2.mapping, options.simd_lanes);
     // Keep whichever mapping is actually better (Phase II never regresses).
     if timing.t_loop <= p1_loop {
         let gain = if p1_loop == 0 {
@@ -135,11 +191,12 @@ pub fn explore(graph: &DataflowGraph, options: &DseOptions) -> DseResult {
         };
         DseResult {
             config: p1.config,
-            mapping,
+            mapping: p2.mapping,
             timing,
             phase1_points: p1.points_evaluated,
-            phase2_sweeps: sweeps,
+            phase2_sweeps: p2.sweeps,
             phase2_gain: gain,
+            stats,
         }
     } else {
         DseResult {
@@ -147,8 +204,9 @@ pub fn explore(graph: &DataflowGraph, options: &DseOptions) -> DseResult {
             mapping: p1.mapping,
             timing: p1.timing,
             phase1_points: p1.points_evaluated,
-            phase2_sweeps: sweeps,
+            phase2_sweeps: p2.sweeps,
             phase2_gain: 0.0,
+            stats,
         }
     }
 }
@@ -166,7 +224,11 @@ mod tests {
             let inputs: Vec<_> = prev.into_iter().collect();
             prev = Some(b.push(
                 format!("conv{i}"),
-                OpKind::Gemm { m: 1600, n: 64 << i.min(2), k: 64 * 9 },
+                OpKind::Gemm {
+                    m: 1600,
+                    n: 64 << i.min(2),
+                    k: 64 * 9,
+                },
                 Domain::Neural,
                 DType::Int8,
                 &inputs,
@@ -176,7 +238,10 @@ mod tests {
         for j in 0..6 {
             v_prev = b.push(
                 format!("bind{j}"),
-                OpKind::VsaConv { n_vec: 16, dim: 1024 },
+                OpKind::VsaConv {
+                    n_vec: 16,
+                    dim: 1024,
+                },
                 Domain::Symbolic,
                 DType::Int4,
                 &[v_prev],
@@ -222,7 +287,9 @@ mod tests {
         let r = explore(&g, &DseOptions::default());
         let nn = g.trace().nn_nodes().len();
         let vsa = g.trace().vsa_nodes().len();
-        r.mapping.validate(&r.config, nn, vsa).expect("returned mapping must be valid");
+        r.mapping
+            .validate(&r.config, nn, vsa)
+            .expect("returned mapping must be valid");
     }
 
     #[test]
@@ -230,7 +297,11 @@ mod tests {
         let mut b = TraceBuilder::new("symbolic-heavy");
         let c = b.push(
             "conv",
-            OpKind::Gemm { m: 64, n: 16, k: 16 },
+            OpKind::Gemm {
+                m: 64,
+                n: 16,
+                k: 16,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
@@ -239,7 +310,10 @@ mod tests {
         for j in 0..12 {
             prev = b.push(
                 format!("bind{j}"),
-                OpKind::VsaConv { n_vec: 64, dim: 2048 },
+                OpKind::VsaConv {
+                    n_vec: 64,
+                    dim: 2048,
+                },
                 Domain::Symbolic,
                 DType::Int4,
                 &[prev],
@@ -259,8 +333,20 @@ mod tests {
     #[test]
     fn more_pe_budget_never_hurts() {
         let g = nvsa_like(8);
-        let small = explore(&g, &DseOptions { max_pes: 1024, ..DseOptions::default() });
-        let large = explore(&g, &DseOptions { max_pes: 8192, ..DseOptions::default() });
+        let small = explore(
+            &g,
+            &DseOptions {
+                max_pes: 1024,
+                ..DseOptions::default()
+            },
+        );
+        let large = explore(
+            &g,
+            &DseOptions {
+                max_pes: 8192,
+                ..DseOptions::default()
+            },
+        );
         assert!(
             large.timing.t_loop <= small.timing.t_loop,
             "more PEs slower: {} > {}",

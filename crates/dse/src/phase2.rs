@@ -1,16 +1,25 @@
 //! Phase II of Algorithm 1: per-node mapping refinement.
 //!
-//! Starting from the Phase-I static partition, each sweep walks the NN
-//! layers in order. For layer `i` it locates the VSA nodes `j′..j″` that
-//! execute concurrently with it (the layer's *span* in the dataflow
+//! Starting from the Phase-I static partition, each sweep proposes one
+//! move per NN layer: for layer `i` it locates the VSA nodes `j′..j″`
+//! that execute concurrently with it (the layer's *span* in the dataflow
 //! graph), then shifts one sub-array between the layer and its span
-//! toward whichever side is currently the bottleneck. The best mapping
-//! seen across all sweeps is returned; search granularity is one NN layer
-//! (VSA kernels being smaller and more malleable, per the paper).
+//! toward whichever side is the sweep-start bottleneck. All of a sweep's
+//! candidates are evaluated against the same snapshot (steepest-descent /
+//! Jacobi form), which makes them independent: the engine scores them in
+//! parallel through per-node cycle-table lookups, and the best strictly
+//! improving candidate (lowest loop time, ties to the lowest layer index)
+//! is applied before the next sweep. Evaluation order never affects the
+//! outcome, so threaded and serial runs are bit-identical. Search
+//! granularity is one NN layer (VSA kernels being smaller and more
+//! malleable, per the paper).
 
-use nsflow_arch::{analytical, ArrayConfig, Mapping};
+use std::time::Instant;
+
+use nsflow_arch::{ArrayConfig, Mapping};
 use nsflow_graph::DataflowGraph;
 
+use crate::eval::{parallel_map, EvalEngine, SweepStats};
 use crate::DseOptions;
 
 /// The VSA nodes overlapping NN layer `layer_idx` in depth order: those
@@ -46,6 +55,17 @@ pub fn vsa_span_of_layer(graph: &DataflowGraph, layer_idx: usize) -> Vec<usize> 
     }
 }
 
+/// Phase-II outcome with evaluation counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase2Outcome {
+    /// The refined mapping (the start mapping when nothing improved).
+    pub mapping: Mapping,
+    /// Sweeps actually executed.
+    pub sweeps: usize,
+    /// Evaluation counters for the refinement.
+    pub stats: SweepStats,
+}
+
 /// Runs Phase II, returning the refined mapping and the number of sweeps
 /// executed. Sequential Phase-I results are returned unchanged — there is
 /// no partition to refine.
@@ -56,88 +76,146 @@ pub fn phase2(
     start: &Mapping,
     options: &DseOptions,
 ) -> (Mapping, usize) {
-    if !start.parallel || start.n_l.is_empty() || start.n_v.is_empty() {
-        return (start.clone(), 0);
-    }
-    let trace = graph.trace();
-    let vsa_nodes = trace.vsa_nodes();
-    let n = config.n_subarrays();
+    let out = phase2_with_stats(graph, config, start, options);
+    (out.mapping, out.sweeps)
+}
 
+/// [`phase2`] with the evaluation counters exposed (what [`crate::explore`]
+/// threads into [`crate::DseResult`]).
+#[must_use]
+pub fn phase2_with_stats(
+    graph: &DataflowGraph,
+    config: &ArrayConfig,
+    start: &Mapping,
+    options: &DseOptions,
+) -> Phase2Outcome {
+    if !start.parallel || start.n_l.is_empty() || start.n_v.is_empty() {
+        return Phase2Outcome {
+            mapping: start.clone(),
+            sweeps: 0,
+            stats: SweepStats::default(),
+        };
+    }
+    let began = Instant::now();
+    let trace = graph.trace();
+    let vsa_count = trace.vsa_nodes().len();
+    let nn_count = start.n_l.len();
+    let n = config.n_subarrays();
+    let threads = options.effective_threads();
+
+    // One table serves the whole refinement; spans never change across
+    // sweeps, so hoist them too.
+    let engine = EvalEngine::new(graph, options.simd_lanes);
+    let table = engine.build_table(config.height(), config.width(), n);
+    let spans: Vec<Vec<usize>> = (0..nn_count)
+        .map(|layer| vsa_span_of_layer(graph, layer))
+        .collect();
+
+    let mut stats = SweepStats {
+        tables_built: 1,
+        threads,
+        ..SweepStats::default()
+    };
     let mut current = start.clone();
-    let mut best = start.clone();
-    let mut best_time =
-        analytical::loop_timing(graph, config, &best, options.simd_lanes).t_loop;
+    let mut best_time = table.mapping_timing(&current).t_loop;
+    stats.points_evaluated += 1;
     let mut sweeps = 0usize;
 
     for _ in 0..options.iter_max {
         sweeps += 1;
-        let mut changed = false;
-        for layer in 0..current.n_l.len() {
-            let span = vsa_span_of_layer(graph, layer);
-            if span.is_empty() {
-                continue;
-            }
-            let timing = analytical::loop_timing(graph, config, &current, options.simd_lanes);
-            // Shift one sub-array toward the bottleneck partition.
-            let mut candidate = current.clone();
-            if timing.t_nn >= timing.t_vsa {
-                // NN is the bottleneck: take one sub-array from each span
-                // node that can spare it and give it to this layer.
-                if span.iter().all(|&j| candidate.n_v[j] > 1)
-                    && layer_headroom(&candidate, layer, &span, n)
-                {
-                    candidate.n_l[layer] += 1;
-                    for &j in &span {
-                        candidate.n_v[j] -= 1;
+        let snapshot = table.mapping_timing(&current);
+        stats.points_evaluated += 1;
+        stats.cache_hits += 1;
+
+        // Propose one move per layer against the sweep-start snapshot.
+        let candidates: Vec<Mapping> = (0..nn_count)
+            .filter_map(|layer| {
+                let span = &spans[layer];
+                if span.is_empty() {
+                    return None;
+                }
+                let mut candidate = current.clone();
+                if snapshot.t_nn >= snapshot.t_vsa {
+                    // NN is the bottleneck: take one sub-array from each
+                    // span node that can spare it and give it to this layer.
+                    if span.iter().all(|&j| candidate.n_v[j] > 1)
+                        && layer_headroom(&candidate, layer, span, n)
+                    {
+                        candidate.n_l[layer] += 1;
+                        for &j in span {
+                            candidate.n_v[j] -= 1;
+                        }
+                    } else {
+                        return None;
                     }
                 } else {
-                    continue;
-                }
-            } else {
-                // VSA is the bottleneck: donate one sub-array from the layer.
-                if candidate.n_l[layer] > 1
-                    && span.iter().all(|&j| candidate.n_v[j] + candidate.n_l[layer] - 1 <= n)
-                {
-                    candidate.n_l[layer] -= 1;
-                    for &j in &span {
-                        candidate.n_v[j] += 1;
+                    // VSA is the bottleneck: donate one sub-array from the
+                    // layer.
+                    if candidate.n_l[layer] > 1
+                        && span
+                            .iter()
+                            .all(|&j| candidate.n_v[j] + candidate.n_l[layer] - 1 <= n)
+                    {
+                        candidate.n_l[layer] -= 1;
+                        for &j in span {
+                            candidate.n_v[j] += 1;
+                        }
+                    } else {
+                        return None;
                     }
-                } else {
-                    continue;
                 }
-            }
-            if candidate
-                .validate(config, current.n_l.len(), vsa_nodes.len())
-                .is_err()
-            {
-                continue;
-            }
-            let cand_time =
-                analytical::loop_timing(graph, config, &candidate, options.simd_lanes).t_loop;
-            if cand_time < best_time {
-                best_time = cand_time;
-                best = candidate.clone();
-                current = candidate;
-                changed = true;
-            }
-        }
-        if !changed {
+                if candidate.validate(config, nn_count, vsa_count).is_err() {
+                    return None;
+                }
+                Some(candidate)
+            })
+            .collect();
+        if candidates.is_empty() {
             break;
         }
+
+        // Score every candidate against the same snapshot — independent
+        // work, safe to fan out; input-order results keep the argmin
+        // deterministic.
+        let times = parallel_map(&candidates, threads, |m| table.mapping_timing(m).t_loop);
+        stats.points_evaluated += times.len();
+        stats.cache_hits += times.len();
+
+        // First strict minimum wins (lowest layer index on ties).
+        let mut winner: Option<usize> = None;
+        for (idx, &t) in times.iter().enumerate() {
+            if t < best_time && winner.is_none_or(|w| t < times[w]) {
+                winner = Some(idx);
+            }
+        }
+        match winner {
+            Some(idx) => {
+                best_time = times[idx];
+                current = candidates[idx].clone();
+            }
+            None => break,
+        }
     }
-    (best, sweeps)
+    stats.wall = began.elapsed();
+    Phase2Outcome {
+        mapping: current,
+        sweeps,
+        stats,
+    }
 }
 
 /// Whether giving layer `layer` one more sub-array keeps every concurrent
 /// pair within the array.
 fn layer_headroom(mapping: &Mapping, layer: usize, span: &[usize], n: usize) -> bool {
     let new_l = mapping.n_l[layer] + 1;
-    span.iter().all(|&j| new_l + mapping.n_v[j].saturating_sub(1) <= n)
+    span.iter()
+        .all(|&j| new_l + mapping.n_v[j].saturating_sub(1) <= n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsflow_arch::analytical;
     use nsflow_tensor::DType;
     use nsflow_trace::{Domain, OpKind, TraceBuilder};
 
@@ -147,7 +225,11 @@ mod tests {
         let mut b = TraceBuilder::new("lopsided");
         let c1 = b.push(
             "conv_heavy",
-            OpKind::Gemm { m: 4096, n: 512, k: 512 },
+            OpKind::Gemm {
+                m: 4096,
+                n: 512,
+                k: 512,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
@@ -161,14 +243,21 @@ mod tests {
         );
         let c2 = b.push(
             "conv_light",
-            OpKind::Gemm { m: 64, n: 32, k: 32 },
+            OpKind::Gemm {
+                m: 64,
+                n: 32,
+                k: 32,
+            },
             Domain::Neural,
             DType::Int8,
             &[v1],
         );
         let _v2 = b.push(
             "bind_heavy",
-            OpKind::VsaConv { n_vec: 128, dim: 2048 },
+            OpKind::VsaConv {
+                n_vec: 128,
+                dim: 2048,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[c2],
@@ -233,5 +322,47 @@ mod tests {
         let (out, _) = phase2(&g, &cfg, &start, &DseOptions::default());
         assert!(out.n_l.iter().all(|&x| x >= 1));
         assert!(out.n_v.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn threaded_and_serial_refinement_agree() {
+        let g = lopsided_graph();
+        let cfg = ArrayConfig::new(16, 16, 8).unwrap();
+        let start = Mapping::uniform(2, 2, 4, 4);
+        let serial = phase2(
+            &g,
+            &cfg,
+            &start,
+            &DseOptions {
+                threads: Some(1),
+                ..DseOptions::default()
+            },
+        );
+        for threads in [Some(2), Some(7), None] {
+            let par = phase2(
+                &g,
+                &cfg,
+                &start,
+                &DseOptions {
+                    threads,
+                    ..DseOptions::default()
+                },
+            );
+            assert_eq!(par, serial, "threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn refinement_never_regresses_under_table_scoring() {
+        let g = lopsided_graph();
+        let cfg = ArrayConfig::new(16, 16, 8).unwrap();
+        let opts = DseOptions::default();
+        let start = Mapping::uniform(2, 2, 4, 4);
+        let out = phase2_with_stats(&g, &cfg, &start, &opts);
+        assert_eq!(out.stats.tables_built, 1);
+        assert!(out.stats.points_evaluated > 0);
+        let start_t = analytical::loop_timing(&g, &cfg, &start, opts.simd_lanes).t_loop;
+        let out_t = analytical::loop_timing(&g, &cfg, &out.mapping, opts.simd_lanes).t_loop;
+        assert!(out_t <= start_t);
     }
 }

@@ -1,0 +1,161 @@
+//! Equivalence properties for the DSE evaluation engine: on random small
+//! graphs and option sets, the memoized + threaded search paths return
+//! exactly the same `(config, mapping, t_loop, points)` as the serial
+//! trace-walking references, and the two-phase `explore` never falls
+//! behind the exhaustive-uniform optimum.
+
+use nsflow_dse::{
+    exhaustive::{exhaustive_uniform, exhaustive_uniform_reference},
+    explore, phase1, phase1_reference, DseOptions,
+};
+use nsflow_graph::DataflowGraph;
+use nsflow_tensor::DType;
+use nsflow_trace::{Domain, OpKind, TraceBuilder};
+use proptest::prelude::*;
+
+/// Builds a linear mixed NN→VSA chain from generated dimensions. An empty
+/// spec falls back to a single GEMM so the trace is never empty.
+fn build_graph(
+    nn: &[(usize, usize, usize)],
+    vsa: &[(usize, usize)],
+    loops: usize,
+) -> DataflowGraph {
+    let mut b = TraceBuilder::new("prop");
+    let mut prev = None;
+    for (i, &(m, n, k)) in nn.iter().enumerate() {
+        let inputs: Vec<_> = prev.into_iter().collect();
+        prev = Some(b.push(
+            format!("conv{i}"),
+            OpKind::Gemm { m, n, k },
+            Domain::Neural,
+            DType::Int8,
+            &inputs,
+        ));
+    }
+    for (j, &(n_vec, dim)) in vsa.iter().enumerate() {
+        let inputs: Vec<_> = prev.into_iter().collect();
+        prev = Some(b.push(
+            format!("bind{j}"),
+            OpKind::VsaConv { n_vec, dim },
+            Domain::Symbolic,
+            DType::Int4,
+            &inputs,
+        ));
+    }
+    if prev.is_none() {
+        b.push(
+            "fallback",
+            OpKind::Gemm {
+                m: 64,
+                n: 16,
+                k: 16,
+            },
+            Domain::Neural,
+            DType::Int8,
+            &[],
+        );
+    }
+    DataflowGraph::from_trace(b.finish(loops).unwrap())
+}
+
+fn nn_spec() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    proptest::collection::vec((16usize..600, 8usize..160, 8usize..320), 0..4)
+}
+
+fn vsa_spec() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((1usize..48, 32usize..1200), 0..4)
+}
+
+/// Candidate dimension lists with deliberate duplicates and arbitrary
+/// order — the normalization invariant must absorb both.
+fn dim_list() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec((1usize..=5).prop_map(|e| 1usize << e), 1..5)
+}
+
+fn options() -> impl Strategy<Value = DseOptions> {
+    (dim_list(), dim_list(), 8usize..=11, 2usize..=8).prop_map(
+        |(heights, widths, pe_exp, max_subarrays)| DseOptions {
+            max_pes: 1 << pe_exp,
+            heights,
+            widths,
+            // Loose bounds: no aspect pruning, so Phase I covers every
+            // (H, W) pair and stays comparable to the unpruned exhaustive
+            // sweep.
+            aspect_bounds: (1e-4, 1e4),
+            max_subarrays,
+            ..DseOptions::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn phase1_parallel_equals_serial_reference(
+        nn in nn_spec(),
+        vsa in vsa_spec(),
+        loops in 1usize..=4,
+        opts in options(),
+        threads in 2usize..=6,
+    ) {
+        let g = build_graph(&nn, &vsa, loops);
+        let fast = phase1(&g, &DseOptions { threads: Some(threads), ..opts.clone() });
+        let slow = phase1_reference(&g, &DseOptions { threads: Some(1), ..opts });
+        prop_assert_eq!(fast.config, slow.config);
+        prop_assert_eq!(fast.mapping, slow.mapping);
+        prop_assert_eq!(fast.timing.t_loop, slow.timing.t_loop);
+        prop_assert_eq!(fast.points_evaluated, slow.points_evaluated);
+    }
+
+    #[test]
+    fn exhaustive_parallel_equals_serial_reference(
+        nn in nn_spec(),
+        vsa in vsa_spec(),
+        loops in 1usize..=4,
+        opts in options(),
+        threads in 2usize..=6,
+    ) {
+        let g = build_graph(&nn, &vsa, loops);
+        let fast = exhaustive_uniform(&g, &DseOptions { threads: Some(threads), ..opts.clone() });
+        let slow = exhaustive_uniform_reference(&g, &DseOptions { threads: Some(1), ..opts });
+        prop_assert_eq!(fast.config, slow.config);
+        prop_assert_eq!(fast.mapping, slow.mapping);
+        prop_assert_eq!(fast.t_loop, slow.t_loop);
+        prop_assert_eq!(fast.points, slow.points);
+    }
+
+    #[test]
+    fn explore_stays_at_or_below_exhaustive_uniform_optimum(
+        nn in nn_spec(),
+        vsa in vsa_spec(),
+        loops in 1usize..=4,
+        opts in options(),
+    ) {
+        let g = build_graph(&nn, &vsa, loops);
+        let ex = exhaustive_uniform(&g, &opts);
+        let two_phase = explore(&g, &opts);
+        prop_assert!(
+            two_phase.timing.t_loop <= ex.t_loop,
+            "two-phase {} worse than exhaustive uniform {}",
+            two_phase.timing.t_loop,
+            ex.t_loop
+        );
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_explore_result(
+        nn in nn_spec(),
+        vsa in vsa_spec(),
+        opts in options(),
+    ) {
+        let g = build_graph(&nn, &vsa, 2);
+        let serial = explore(&g, &DseOptions { threads: Some(1), ..opts.clone() });
+        let par = explore(&g, &DseOptions { threads: Some(5), ..opts });
+        prop_assert_eq!(serial.config, par.config);
+        prop_assert_eq!(serial.mapping, par.mapping);
+        prop_assert_eq!(serial.timing, par.timing);
+        prop_assert_eq!(serial.phase1_points, par.phase1_points);
+        prop_assert_eq!(serial.phase2_sweeps, par.phase2_sweeps);
+    }
+}

@@ -93,10 +93,14 @@ impl DesignConfig {
             kv.insert(k.trim().to_string(), v.trim().to_string());
         }
         let get = |key: &str| -> Result<String, ParseDesignError> {
-            kv.get(key).cloned().ok_or_else(|| ParseDesignError(format!("missing key {key}")))
+            kv.get(key)
+                .cloned()
+                .ok_or_else(|| ParseDesignError(format!("missing key {key}")))
         };
         let num = |key: &str| -> Result<usize, ParseDesignError> {
-            get(key)?.parse().map_err(|_| ParseDesignError(format!("non-numeric {key}")))
+            get(key)?
+                .parse()
+                .map_err(|_| ParseDesignError(format!("non-numeric {key}")))
         };
         let dtype = |key: &str| -> Result<DType, ParseDesignError> {
             match get(key)?.as_str() {
@@ -157,16 +161,27 @@ pub fn host_schedule(graph: &DataflowGraph, mapping: &Mapping) -> String {
     let trace = graph.trace();
     let nn_nodes = trace.nn_nodes();
     let vsa_nodes = trace.vsa_nodes();
-    let nn_index: HashMap<_, _> = nn_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
-    let vsa_index: HashMap<_, _> =
-        vsa_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let nn_index: HashMap<_, _> = nn_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
+    let vsa_index: HashMap<_, _> = vsa_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
 
     let mut out = String::new();
     out.push_str(&format!(
         "// host schedule for {} ({} loops, {} mode)\n",
         trace.name(),
         trace.loop_count(),
-        if mapping.parallel { "parallel" } else { "sequential" }
+        if mapping.parallel {
+            "parallel"
+        } else {
+            "sequential"
+        }
     ));
     let mut last_fold: Option<(usize, usize)> = None;
     for op in trace.ops() {
@@ -187,7 +202,11 @@ pub fn host_schedule(graph: &DataflowGraph, mapping: &Mapping) -> String {
                 last_fold = Some((nl, nv));
             }
         }
-        let deps: Vec<String> = op.inputs().iter().map(|d| format!("%{}", d.index())).collect();
+        let deps: Vec<String> = op
+            .inputs()
+            .iter()
+            .map(|d| format!("%{}", d.index()))
+            .collect();
         out.push_str(&format!(
             "launch {engine} kernel={} deps=[{}]\n",
             op.name(),
@@ -251,7 +270,11 @@ mod tests {
         let mut b = TraceBuilder::new("w");
         let c = b.push(
             "conv1",
-            OpKind::Gemm { m: 64, n: 16, k: 16 },
+            OpKind::Gemm {
+                m: 64,
+                n: 16,
+                k: 16,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
@@ -265,7 +288,10 @@ mod tests {
         );
         let _s = b.push(
             "sum1",
-            OpKind::Reduce { elems: 256, func: nsflow_trace::ReduceFunc::Sum },
+            OpKind::Reduce {
+                elems: 256,
+                func: nsflow_trace::ReduceFunc::Sum,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[v],

@@ -18,7 +18,11 @@ pub enum FpgaError {
 impl fmt::Display for FpgaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FpgaError::ResourceOverflow { resource, required, available } => write!(
+            FpgaError::ResourceOverflow {
+                resource,
+                required,
+                available,
+            } => write!(
                 f,
                 "design requires {required} {resource} but the device provides {available}"
             ),

@@ -115,8 +115,7 @@ pub fn estimate(
     } else {
         (LUT_PER_PE_UNIFORM, FF_PER_PE_UNIFORM, LUTRAM_PER_PE_UNIFORM)
     };
-    let single_buffer =
-        (plan.mem_a1 + plan.mem_a2 + plan.mem_b + plan.mem_c) as u64;
+    let single_buffer = (plan.mem_a1 + plan.mem_a2 + plan.mem_b + plan.mem_c) as u64;
     DesignResources {
         dsps: (pes as f64 * DSP_PER_PE + lanes as f64 * DSP_PER_SIMD_LANE).ceil() as u64,
         luts: pes * lut_pe + lanes * LUT_PER_SIMD_LANE + LUT_CONTROL,
@@ -177,9 +176,14 @@ pub fn max_pes_for(device: &FpgaDevice, precision: &PrecisionConfig, simd_lanes:
         (LUT_PER_PE_UNIFORM, FF_PER_PE_UNIFORM)
     };
     let by_dsp = ((device.dsps as f64 - lanes as f64 * DSP_PER_SIMD_LANE) / DSP_PER_PE) as u64;
-    let by_lut =
-        (device.luts.saturating_sub(lanes * LUT_PER_SIMD_LANE + LUT_CONTROL)) / lut_pe;
-    let by_ff = (device.ffs.saturating_sub(lanes * FF_PER_SIMD_LANE + FF_CONTROL)) / ff_pe;
+    let by_lut = (device
+        .luts
+        .saturating_sub(lanes * LUT_PER_SIMD_LANE + LUT_CONTROL))
+        / lut_pe;
+    let by_ff = (device
+        .ffs
+        .saturating_sub(lanes * FF_PER_SIMD_LANE + FF_CONTROL))
+        / ff_pe;
     by_dsp.min(by_lut).min(by_ff) as usize
 }
 
@@ -261,7 +265,9 @@ mod tests {
         let cfg = ArrayConfig::new(128, 128, 4).unwrap(); // 65k PEs
         let res = estimate(&cfg, &PrecisionConfig::mixed(), 64, &MemoryPlan::default());
         let err = res.utilization_on(&FpgaDevice::u250()).unwrap_err();
-        assert!(matches!(err, FpgaError::ResourceOverflow { ref resource, .. } if resource == "DSP"));
+        assert!(
+            matches!(err, FpgaError::ResourceOverflow { ref resource, .. } if resource == "DSP")
+        );
     }
 
     #[test]

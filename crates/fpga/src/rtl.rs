@@ -221,13 +221,23 @@ mod tests {
     #[test]
     fn bundle_contains_every_module() {
         let rtl = emit_rtl(&config());
-        for module in
-            ["nsflow_pe", "nsflow_subarray", "nsflow_simd", "nsflow_memory", "nsflow_top"]
-        {
-            assert!(rtl.contains(&format!("module {module}")), "missing {module}");
+        for module in [
+            "nsflow_pe",
+            "nsflow_subarray",
+            "nsflow_simd",
+            "nsflow_memory",
+            "nsflow_top",
+        ] {
+            assert!(
+                rtl.contains(&format!("module {module}")),
+                "missing {module}"
+            );
         }
         // Balanced module/endmodule pairs.
-        assert_eq!(rtl.matches("module ").count(), rtl.matches("endmodule").count());
+        assert_eq!(
+            rtl.matches("module ").count(),
+            rtl.matches("endmodule").count()
+        );
     }
 
     #[test]
@@ -247,7 +257,10 @@ mod tests {
         let pe = emit_pe(&config());
         assert!(pe.contains("passing_q"));
         assert!(pe.contains("streaming_q"));
-        assert!(pe.contains("streaming_q <= passing_q"), "2-cycle stream hop missing");
+        assert!(
+            pe.contains("streaming_q <= passing_q"),
+            "2-cycle stream hop missing"
+        );
         assert!(pe.contains("mode_vsa"));
     }
 

@@ -61,8 +61,7 @@ impl DataflowGraph {
             tail = p;
         }
         critical_rev.reverse();
-        let critical_path: Vec<OpId> =
-            critical_rev.iter().map(|&i| trace.ops()[i].id()).collect();
+        let critical_path: Vec<OpId> = critical_rev.iter().map(|&i| trace.ops()[i].id()).collect();
 
         // ② BFS depth: longest hop count from any source.
         let mut depth = vec![0usize; n];
@@ -105,7 +104,12 @@ impl DataflowGraph {
             })
             .collect();
 
-        DataflowGraph { trace, depth, critical_path, groups }
+        DataflowGraph {
+            trace,
+            depth,
+            critical_path,
+            groups,
+        }
     }
 
     /// The underlying trace.
@@ -202,14 +206,22 @@ mod tests {
         let mut b = TraceBuilder::new("diamond");
         let c1 = b.push(
             "conv1",
-            OpKind::Gemm { m: 1000, n: 64, k: 27 },
+            OpKind::Gemm {
+                m: 1000,
+                n: 64,
+                k: 27,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let c2 = b.push(
             "conv2",
-            OpKind::Gemm { m: 1000, n: 64, k: 576 },
+            OpKind::Gemm {
+                m: 1000,
+                n: 64,
+                k: 576,
+            },
             Domain::Neural,
             DType::Int8,
             &[c1],
@@ -223,7 +235,10 @@ mod tests {
         );
         let _join = b.push(
             "sim",
-            OpKind::Similarity { n_vec: 4, dim: 1024 },
+            OpKind::Similarity {
+                n_vec: 4,
+                dim: 1024,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[c2, side],
@@ -234,8 +249,11 @@ mod tests {
     #[test]
     fn critical_path_takes_heavier_branch() {
         let g = diamond();
-        let names: Vec<&str> =
-            g.critical_path().iter().map(|id| g.trace().op(*id).name()).collect();
+        let names: Vec<&str> = g
+            .critical_path()
+            .iter()
+            .map(|id| g.trace().op(*id).name())
+            .collect();
         assert_eq!(names, vec!["conv1", "conv2", "sim"]);
     }
 
@@ -283,7 +301,11 @@ mod tests {
             let inputs: Vec<OpId> = prev.into_iter().collect();
             prev = Some(b.push(
                 format!("op{i}"),
-                OpKind::Gemm { m: 10, n: 10, k: 10 },
+                OpKind::Gemm {
+                    m: 10,
+                    n: 10,
+                    k: 10,
+                },
                 Domain::Neural,
                 DType::Int8,
                 &inputs,
@@ -300,14 +322,21 @@ mod tests {
         let mut b = TraceBuilder::new("indep");
         let _a = b.push(
             "big",
-            OpKind::Gemm { m: 100, n: 100, k: 100 },
+            OpKind::Gemm {
+                m: 100,
+                n: 100,
+                k: 100,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let _c = b.push(
             "small",
-            OpKind::Elementwise { elems: 4, func: EltFunc::Add },
+            OpKind::Elementwise {
+                elems: 4,
+                func: EltFunc::Add,
+            },
             Domain::Neural,
             DType::Int8,
             &[],

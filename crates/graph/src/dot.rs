@@ -24,7 +24,11 @@ pub fn to_dot(graph: &DataflowGraph) -> String {
             OpKind::VsaConv { .. } => ("#f9c38c", "VSA"),
             _ => ("#d8f0d8", "SIMD"),
         };
-        let border = if graph.is_critical(op.id()) { ", penwidth=3, color=\"#c5221f\"" } else { "" };
+        let border = if graph.is_critical(op.id()) {
+            ", penwidth=3, color=\"#c5221f\""
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  n{} [label=\"{}\\n{} d{}\" , fillcolor=\"{}\"{}];\n",
             op.id().index(),
@@ -42,8 +46,11 @@ pub fn to_dot(graph: &DataflowGraph) -> String {
     }
     // Critical path as a bold chain annotation.
     if graph.critical_path().len() > 1 {
-        let chain: Vec<String> =
-            graph.critical_path().iter().map(|id| format!("n{}", id.index())).collect();
+        let chain: Vec<String> = graph
+            .critical_path()
+            .iter()
+            .map(|id| format!("n{}", id.index()))
+            .collect();
         out.push_str(&format!(
             "  {} [style=bold, color=\"#c5221f\", constraint=false];\n",
             chain.join(" -> ")
@@ -77,7 +84,10 @@ mod tests {
         );
         let _s = b.push(
             "sum",
-            OpKind::Reduce { elems: 64, func: nsflow_trace::ReduceFunc::Sum },
+            OpKind::Reduce {
+                elems: 64,
+                func: nsflow_trace::ReduceFunc::Sum,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[v],
@@ -104,7 +114,10 @@ mod tests {
         assert!(dot.contains("NN d0"));
         assert!(dot.contains("VSA d1"));
         assert!(dot.contains("SIMD d2"));
-        assert!(dot.contains("penwidth=3"), "critical nodes should be highlighted");
+        assert!(
+            dot.contains("penwidth=3"),
+            "critical nodes should be highlighted"
+        );
         assert!(dot.contains("n0 -> n1 -> n2 [style=bold"));
     }
 

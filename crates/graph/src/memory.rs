@@ -80,14 +80,22 @@ mod tests {
         let mut b = TraceBuilder::new("m");
         let c1 = b.push(
             "conv_small",
-            OpKind::Gemm { m: 100, n: 16, k: 27 },
+            OpKind::Gemm {
+                m: 100,
+                n: 16,
+                k: 27,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let c2 = b.push(
             "conv_big",
-            OpKind::Gemm { m: 100, n: 64, k: 576 },
+            OpKind::Gemm {
+                m: 100,
+                n: 64,
+                k: 576,
+            },
             Domain::Neural,
             DType::Int8,
             &[c1],

@@ -23,8 +23,15 @@ pub enum NnError {
 impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NnError::ShapeMismatch { layer, expected, actual } => {
-                write!(f, "layer {layer} expected input shape {expected}, got {actual}")
+            NnError::ShapeMismatch {
+                layer,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "layer {layer} expected input shape {expected}, got {actual}"
+                )
             }
             NnError::InvalidLayer(msg) => write!(f, "invalid layer: {msg}"),
             NnError::EmptyModel => write!(f, "model must contain at least one layer"),
@@ -47,6 +54,8 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!NnError::EmptyModel.to_string().is_empty());
-        assert!(!NnError::InvalidLayer("zero channels".into()).to_string().is_empty());
+        assert!(!NnError::InvalidLayer("zero channels".into())
+            .to_string()
+            .is_empty());
     }
 }

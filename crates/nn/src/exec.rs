@@ -31,13 +31,21 @@ impl Parameters {
         let mut biases = Vec::with_capacity(model.layers().len());
         for (i, layer) in model.layers().iter().enumerate() {
             match layer.kind() {
-                LayerKind::Conv2d { in_ch, out_ch, kernel, .. } => {
+                LayerKind::Conv2d {
+                    in_ch,
+                    out_ch,
+                    kernel,
+                    ..
+                } => {
                     let fan_in = in_ch * kernel * kernel;
                     let std = (2.0 / fan_in as f32).sqrt();
                     weights.push(gaussianish(out_ch * fan_in, std, rng));
                     biases.push(vec![0.0; *out_ch]);
                 }
-                LayerKind::Linear { in_features, out_features } => {
+                LayerKind::Linear {
+                    in_features,
+                    out_features,
+                } => {
                     let std = (2.0 / *in_features as f32).sqrt();
                     weights.push(gaussianish(out_features * in_features, std, rng));
                     biases.push(vec![0.0; *out_features]);
@@ -117,7 +125,15 @@ pub fn forward(model: &Model, params: &Parameters, input: &Tensor) -> Result<Ten
     }
     let mut x = input.clone();
     for (i, layer) in model.layers().iter().enumerate() {
-        x = forward_layer(layer.kind(), &x, params.weight(i), params.bias(i), layer, model, i)?;
+        x = forward_layer(
+            layer.kind(),
+            &x,
+            params.weight(i),
+            params.bias(i),
+            layer,
+            model,
+            i,
+        )?;
     }
     Ok(x)
 }
@@ -134,10 +150,19 @@ fn forward_layer(
 ) -> Result<Tensor> {
     let out_shape = layer.output_shape(x.shape())?;
     match kind {
-        LayerKind::Conv2d { in_ch, out_ch, kernel, stride, padding } => {
-            conv2d(x, w, b, *in_ch, *out_ch, *kernel, *stride, *padding, &out_shape)
-        }
-        LayerKind::Linear { in_features, out_features } => {
+        LayerKind::Conv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+        } => conv2d(
+            x, w, b, *in_ch, *out_ch, *kernel, *stride, *padding, &out_shape,
+        ),
+        LayerKind::Linear {
+            in_features,
+            out_features,
+        } => {
             let batch = out_shape.dims()[0];
             let mut out = Vec::with_capacity(batch * out_features);
             for bi in 0..batch {
@@ -185,16 +210,14 @@ fn conv2d(
                         for kx in 0..kernel {
                             let iy = (oy * stride + ky) as isize - padding as isize;
                             let ix = (ox * stride + kx) as isize - padding as isize;
-                            let v = if iy >= 0
-                                && ix >= 0
-                                && (iy as usize) < h
-                                && (ix as usize) < width
-                            {
-                                x.data()[((bi * in_ch + c) * h + iy as usize) * width
-                                    + ix as usize]
-                            } else {
-                                0.0
-                            };
+                            let v =
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < width
+                                {
+                                    x.data()
+                                        [((bi * in_ch + c) * h + iy as usize) * width + ix as usize]
+                                } else {
+                                    0.0
+                                };
                             cols[row * patch_len + (c * k2 + ky * kernel + kx)] = v;
                         }
                     }
@@ -316,7 +339,13 @@ mod tests {
             Shape::new(vec![1, 1, 3, 3]),
             vec![LayerSpec::new(
                 "c",
-                LayerKind::Conv2d { in_ch: 1, out_ch: 1, kernel: 1, stride: 1, padding: 0 },
+                LayerKind::Conv2d {
+                    in_ch: 1,
+                    out_ch: 1,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                },
             )],
         )
         .unwrap();
@@ -340,7 +369,13 @@ mod tests {
             Shape::new(vec![1, 1, 3, 3]),
             vec![LayerSpec::new(
                 "c",
-                LayerKind::Conv2d { in_ch: 1, out_ch: 1, kernel: 3, stride: 1, padding: 1 },
+                LayerKind::Conv2d {
+                    in_ch: 1,
+                    out_ch: 1,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
             )],
         )
         .unwrap();
@@ -373,8 +408,7 @@ mod tests {
         )
         .unwrap();
         let p = Parameters::random(&m, &mut rng());
-        let x =
-            Tensor::from_vec(Shape::new(vec![1, 1, 2, 2]), vec![1.0, 7.0, 3.0, 5.0]).unwrap();
+        let x = Tensor::from_vec(Shape::new(vec![1, 1, 2, 2]), vec![1.0, 7.0, 3.0, 5.0]).unwrap();
         assert_eq!(forward(&m, &p, &x).unwrap().data(), &[7.0]);
     }
 
@@ -425,8 +459,18 @@ mod tests {
                 / y.data().len() as f32;
             err.push(e);
         }
-        assert!(err[0] < err[1], "FP16 error {} !< INT8 error {}", err[0], err[1]);
-        assert!(err[1] < err[2], "INT8 error {} !< INT4 error {}", err[1], err[2]);
+        assert!(
+            err[0] < err[1],
+            "FP16 error {} !< INT8 error {}",
+            err[0],
+            err[1]
+        );
+        assert!(
+            err[1] < err[2],
+            "INT8 error {} !< INT4 error {}",
+            err[1],
+            err[2]
+        );
         // INT8 stays close to the reference; INT4 visibly drifts.
         assert!(err[1] < 0.05, "INT8 error too large: {}", err[1]);
         assert!(err[2] > err[1] * 2.0, "INT4 should be clearly coarser");
@@ -439,7 +483,13 @@ mod tests {
             Shape::new(vec![1, 1, 8, 8]),
             vec![LayerSpec::new(
                 "c",
-                LayerKind::Conv2d { in_ch: 1, out_ch: 2, kernel: 3, stride: 2, padding: 1 },
+                LayerKind::Conv2d {
+                    in_ch: 1,
+                    out_ch: 2,
+                    kernel: 3,
+                    stride: 2,
+                    padding: 1,
+                },
             )],
         )
         .unwrap();

@@ -40,7 +40,15 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 pub fn matvec(a: &[f32], x: &[f32], m: usize, k: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A must be m×k");
     assert_eq!(x.len(), k, "x must have length k");
-    (0..m).map(|i| a[i * k..(i + 1) * k].iter().zip(x).map(|(av, xv)| av * xv).sum()).collect()
+    (0..m)
+        .map(|i| {
+            a[i * k..(i + 1) * k]
+                .iter()
+                .zip(x)
+                .map(|(av, xv)| av * xv)
+                .sum()
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -97,7 +97,10 @@ impl LayerSpec {
     /// Creates a named layer.
     #[must_use]
     pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
-        LayerSpec { name: name.into(), kind }
+        LayerSpec {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// The layer's name.
@@ -122,7 +125,13 @@ impl LayerSpec {
     /// cannot produce a positive output size.
     pub fn output_shape(&self, input: &Shape) -> Result<Shape> {
         match &self.kind {
-            LayerKind::Conv2d { in_ch, out_ch, kernel, stride, padding } => {
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                padding,
+            } => {
                 let (b, c, h, w) = self.expect_nchw(input)?;
                 if c != *in_ch {
                     return Err(self.shape_err(&format!("[N, {in_ch}, H, W]"), input));
@@ -136,7 +145,10 @@ impl LayerSpec {
                 }
                 Ok(Shape::new(vec![b, *out_ch, oh, ow]))
             }
-            LayerKind::Linear { in_features, out_features } => {
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => {
                 let dims = input.dims();
                 let feat: usize = dims.iter().skip(1).product();
                 if dims.is_empty() || feat != *in_features {
@@ -167,15 +179,31 @@ impl LayerSpec {
     /// Propagates shape errors from [`Self::output_shape`].
     pub fn gemm_dims(&self, input: &Shape) -> Result<Option<GemmDims>> {
         match &self.kind {
-            LayerKind::Conv2d { in_ch, out_ch, kernel, .. } => {
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => {
                 let out = self.output_shape(input)?;
                 let d = out.dims();
                 let (b, oh, ow) = (d[0], d[2], d[3]);
-                Ok(Some(GemmDims { m: b * oh * ow, n: *out_ch, k: in_ch * kernel * kernel }))
+                Ok(Some(GemmDims {
+                    m: b * oh * ow,
+                    n: *out_ch,
+                    k: in_ch * kernel * kernel,
+                }))
             }
-            LayerKind::Linear { in_features, out_features } => {
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => {
                 let out = self.output_shape(input)?;
-                Ok(Some(GemmDims { m: out.dims()[0], n: *out_features, k: *in_features }))
+                Ok(Some(GemmDims {
+                    m: out.dims()[0],
+                    n: *out_features,
+                    k: *in_features,
+                }))
             }
             LayerKind::MaxPool2d { .. }
             | LayerKind::GlobalAvgPool
@@ -192,12 +220,16 @@ impl LayerSpec {
     /// Propagates shape errors for layers that need the input shape.
     pub fn param_count(&self, input: &Shape) -> Result<u64> {
         Ok(match &self.kind {
-            LayerKind::Conv2d { in_ch, out_ch, kernel, .. } => {
-                (*out_ch as u64) * (*in_ch as u64) * (*kernel as u64).pow(2) + *out_ch as u64
-            }
-            LayerKind::Linear { in_features, out_features } => {
-                (*in_features as u64) * (*out_features as u64) + *out_features as u64
-            }
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => (*out_ch as u64) * (*in_ch as u64) * (*kernel as u64).pow(2) + *out_ch as u64,
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => (*in_features as u64) * (*out_features as u64) + *out_features as u64,
             LayerKind::BatchNorm2d => {
                 let (_, c, _, _) = self.expect_nchw(input)?;
                 2 * c as u64
@@ -268,13 +300,24 @@ mod tests {
     use super::*;
 
     fn conv(in_ch: usize, out_ch: usize, k: usize, s: usize, p: usize) -> LayerSpec {
-        LayerSpec::new("c", LayerKind::Conv2d { in_ch, out_ch, kernel: k, stride: s, padding: p })
+        LayerSpec::new(
+            "c",
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel: k,
+                stride: s,
+                padding: p,
+            },
+        )
     }
 
     #[test]
     fn conv_output_shape_resnet_stem() {
         let stem = conv(3, 64, 7, 2, 3);
-        let out = stem.output_shape(&Shape::new(vec![1, 3, 224, 224])).unwrap();
+        let out = stem
+            .output_shape(&Shape::new(vec![1, 3, 224, 224]))
+            .unwrap();
         assert_eq!(out.dims(), &[1, 64, 112, 112]);
     }
 
@@ -303,7 +346,13 @@ mod tests {
 
     #[test]
     fn linear_flattens_trailing_dims() {
-        let l = LayerSpec::new("fc", LayerKind::Linear { in_features: 512, out_features: 10 });
+        let l = LayerSpec::new(
+            "fc",
+            LayerKind::Linear {
+                in_features: 512,
+                out_features: 10,
+            },
+        );
         let out = l.output_shape(&Shape::new(vec![4, 512])).unwrap();
         assert_eq!(out.dims(), &[4, 10]);
         let out2 = l.output_shape(&Shape::new(vec![4, 8, 8, 8])).unwrap();
@@ -317,14 +366,29 @@ mod tests {
         let out = p.output_shape(&Shape::new(vec![1, 8, 16, 16])).unwrap();
         assert_eq!(out.dims(), &[1, 8, 8, 8]);
         let g = LayerSpec::new("gap", LayerKind::GlobalAvgPool);
-        assert_eq!(g.output_shape(&Shape::new(vec![1, 512, 5, 5])).unwrap().dims(), &[1, 512]);
+        assert_eq!(
+            g.output_shape(&Shape::new(vec![1, 512, 5, 5]))
+                .unwrap()
+                .dims(),
+            &[1, 512]
+        );
     }
 
     #[test]
     fn gemm_dims_for_conv() {
         let c = conv(3, 64, 7, 2, 3);
-        let g = c.gemm_dims(&Shape::new(vec![1, 3, 160, 160])).unwrap().unwrap();
-        assert_eq!(g, GemmDims { m: 80 * 80, n: 64, k: 3 * 49 });
+        let g = c
+            .gemm_dims(&Shape::new(vec![1, 3, 160, 160]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            g,
+            GemmDims {
+                m: 80 * 80,
+                n: 64,
+                k: 3 * 49
+            }
+        );
         assert_eq!(g.macs(), (80 * 80) as u64 * 64 * 147);
     }
 
@@ -339,7 +403,13 @@ mod tests {
         let c = conv(3, 64, 7, 2, 3);
         let p = c.param_count(&Shape::new(vec![1, 3, 160, 160])).unwrap();
         assert_eq!(p, 64 * 3 * 49 + 64);
-        let l = LayerSpec::new("fc", LayerKind::Linear { in_features: 512, out_features: 10 });
+        let l = LayerSpec::new(
+            "fc",
+            LayerKind::Linear {
+                in_features: 512,
+                out_features: 10,
+            },
+        );
         assert_eq!(l.param_count(&Shape::new(vec![1, 512])).unwrap(), 5130);
         let bn = LayerSpec::new("bn", LayerKind::BatchNorm2d);
         assert_eq!(bn.param_count(&Shape::new(vec![1, 64, 8, 8])).unwrap(), 128);

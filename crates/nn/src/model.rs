@@ -44,7 +44,11 @@ impl Model {
     /// Returns [`NnError::EmptyModel`] for an empty layer list and
     /// propagates the first shape error encountered while threading the
     /// input shape through the layers.
-    pub fn new(name: impl Into<String>, input_shape: Shape, layers: Vec<LayerSpec>) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        input_shape: Shape,
+        layers: Vec<LayerSpec>,
+    ) -> Result<Self> {
         if layers.is_empty() {
             return Err(NnError::EmptyModel);
         }
@@ -55,7 +59,12 @@ impl Model {
             cur = layer.output_shape(&cur)?;
         }
         layer_shapes.push(cur);
-        Ok(Model { name: name.into(), input_shape, layers, layer_shapes })
+        Ok(Model {
+            name: name.into(),
+            input_shape,
+            layers,
+            layer_shapes,
+        })
     }
 
     /// The model's name.
@@ -101,7 +110,8 @@ impl Model {
             .iter()
             .enumerate()
             .map(|(i, l)| {
-                l.gemm_dims(&self.layer_shapes[i]).expect("shapes validated at construction")
+                l.gemm_dims(&self.layer_shapes[i])
+                    .expect("shapes validated at construction")
             })
             .collect()
     }
@@ -122,7 +132,10 @@ impl Model {
         self.layers
             .iter()
             .enumerate()
-            .map(|(i, l)| l.param_count(&self.layer_shapes[i]).expect("shapes validated"))
+            .map(|(i, l)| {
+                l.param_count(&self.layer_shapes[i])
+                    .expect("shapes validated")
+            })
             .sum()
     }
 
@@ -132,7 +145,10 @@ impl Model {
         self.layers
             .iter()
             .enumerate()
-            .map(|(i, l)| l.weight_bytes(&self.layer_shapes[i], dtype).expect("shapes validated"))
+            .map(|(i, l)| {
+                l.weight_bytes(&self.layer_shapes[i], dtype)
+                    .expect("shapes validated")
+            })
             .sum()
     }
 
@@ -144,7 +160,10 @@ impl Model {
         self.layers
             .iter()
             .enumerate()
-            .map(|(i, l)| l.weight_bytes(&self.layer_shapes[i], dtype).expect("shapes validated"))
+            .map(|(i, l)| {
+                l.weight_bytes(&self.layer_shapes[i], dtype)
+                    .expect("shapes validated")
+            })
             .max()
             .unwrap_or(0)
     }
@@ -152,7 +171,11 @@ impl Model {
     /// Largest activation (layer input or output) element count.
     #[must_use]
     pub fn max_activation_elems(&self) -> usize {
-        self.layer_shapes.iter().map(Shape::volume).max().unwrap_or(0)
+        self.layer_shapes
+            .iter()
+            .map(Shape::volume)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -168,11 +191,23 @@ mod tests {
             vec![
                 LayerSpec::new(
                     "conv1",
-                    LayerKind::Conv2d { in_ch: 3, out_ch: 4, kernel: 3, stride: 1, padding: 1 },
+                    LayerKind::Conv2d {
+                        in_ch: 3,
+                        out_ch: 4,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
                 ),
                 LayerSpec::new("relu1", LayerKind::Relu),
                 LayerSpec::new("pool", LayerKind::MaxPool2d { kernel: 2 }),
-                LayerSpec::new("fc", LayerKind::Linear { in_features: 64, out_features: 10 }),
+                LayerSpec::new(
+                    "fc",
+                    LayerKind::Linear {
+                        in_features: 64,
+                        out_features: 10,
+                    },
+                ),
             ],
         )
         .unwrap()
@@ -199,7 +234,13 @@ mod tests {
         let bad = Model::new(
             "bad",
             Shape::new(vec![1, 3, 8, 8]),
-            vec![LayerSpec::new("fc", LayerKind::Linear { in_features: 999, out_features: 1 })],
+            vec![LayerSpec::new(
+                "fc",
+                LayerKind::Linear {
+                    in_features: 999,
+                    out_features: 1,
+                },
+            )],
         );
         assert!(bad.is_err());
     }

@@ -11,7 +11,16 @@ use nsflow_tensor::Shape;
 use crate::{LayerKind, LayerSpec, Model};
 
 fn conv(name: String, in_ch: usize, out_ch: usize, k: usize, s: usize, p: usize) -> LayerSpec {
-    LayerSpec::new(name, LayerKind::Conv2d { in_ch, out_ch, kernel: k, stride: s, padding: p })
+    LayerSpec::new(
+        name,
+        LayerKind::Conv2d {
+            in_ch,
+            out_ch,
+            kernel: k,
+            stride: s,
+            padding: p,
+        },
+    )
 }
 
 fn bn(name: String) -> LayerSpec {
@@ -36,17 +45,22 @@ fn relu(name: String) -> LayerSpec {
 #[must_use]
 pub fn resnet18(input_hw: usize, in_ch: usize) -> Model {
     assert!(input_hw >= 32, "resnet18 needs input_hw >= 32");
-    let mut layers = Vec::new();
-    layers.push(conv("conv1".into(), in_ch, 64, 7, 2, 3));
-    layers.push(bn("bn1".into()));
-    layers.push(relu("relu1".into()));
-    layers.push(LayerSpec::new("maxpool", LayerKind::MaxPool2d { kernel: 2 }));
+    let mut layers = vec![
+        conv("conv1".into(), in_ch, 64, 7, 2, 3),
+        bn("bn1".into()),
+        relu("relu1".into()),
+        LayerSpec::new("maxpool", LayerKind::MaxPool2d { kernel: 2 }),
+    ];
 
     let stages: [(usize, usize, usize); 4] =
         [(64, 64, 1), (64, 128, 2), (128, 256, 2), (256, 512, 2)];
     for (stage, &(in_c, out_c, first_stride)) in stages.iter().enumerate() {
         for block in 0..2 {
-            let (bin, stride) = if block == 0 { (in_c, first_stride) } else { (out_c, 1) };
+            let (bin, stride) = if block == 0 {
+                (in_c, first_stride)
+            } else {
+                (out_c, 1)
+            };
             let base = format!("layer{}_{block}", stage + 1);
             layers.push(conv(format!("{base}_conv1"), bin, out_c, 3, stride, 1));
             layers.push(bn(format!("{base}_bn1")));
@@ -61,8 +75,12 @@ pub fn resnet18(input_hw: usize, in_ch: usize) -> Model {
         }
     }
     layers.push(LayerSpec::new("avgpool", LayerKind::GlobalAvgPool));
-    Model::new("resnet18", Shape::new(vec![1, in_ch, input_hw, input_hw]), layers)
-        .expect("resnet18 shape chain is internally consistent")
+    Model::new(
+        "resnet18",
+        Shape::new(vec![1, in_ch, input_hw, input_hw]),
+        layers,
+    )
+    .expect("resnet18 shape chain is internally consistent")
 }
 
 /// A compact 4-conv CNN used as the perception front-end in the smaller
@@ -86,11 +104,18 @@ pub fn small_cnn(input_hw: usize, in_ch: usize, embedding: usize) -> Model {
         LayerSpec::new("gap".to_string(), LayerKind::GlobalAvgPool),
         LayerSpec::new(
             "proj".to_string(),
-            LayerKind::Linear { in_features: 64, out_features: embedding },
+            LayerKind::Linear {
+                in_features: 64,
+                out_features: embedding,
+            },
         ),
     ];
-    Model::new("small_cnn", Shape::new(vec![1, in_ch, input_hw, input_hw]), layers)
-        .expect("small_cnn shape chain is internally consistent")
+    Model::new(
+        "small_cnn",
+        Shape::new(vec![1, in_ch, input_hw, input_hw]),
+        layers,
+    )
+    .expect("small_cnn shape chain is internally consistent")
 }
 
 /// MIMONet-style backbone: a mid-size CNN that processes several
@@ -119,7 +144,10 @@ pub fn mimonet_backbone(input_hw: usize, superposition: usize) -> Model {
         LayerSpec::new("gap".to_string(), LayerKind::GlobalAvgPool),
         LayerSpec::new(
             "proj".to_string(),
-            LayerKind::Linear { in_features: 256, out_features: 512 },
+            LayerKind::Linear {
+                in_features: 256,
+                out_features: 512,
+            },
         ),
     ];
     Model::new(
@@ -155,7 +183,10 @@ mod tests {
         let small = resnet18(96, 3).total_flops();
         let large = resnet18(192, 3).total_flops();
         let ratio = large as f64 / small as f64;
-        assert!((3.0..5.0).contains(&ratio), "4x pixels ≈ 4x FLOPs, got {ratio}");
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "4x pixels ≈ 4x FLOPs, got {ratio}"
+        );
     }
 
     #[test]

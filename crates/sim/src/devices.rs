@@ -115,7 +115,10 @@ impl Device {
         op_overhead: f64,
         native_bytes: f64,
     ) -> Self {
-        assert!(peak_ops > 0.0 && mem_bw > 0.0, "throughput must be positive");
+        assert!(
+            peak_ops > 0.0 && mem_bw > 0.0,
+            "throughput must be positive"
+        );
         assert!(
             nn_eff > 0.0 && sym_compute_eff > 0.0 && sym_bw_eff > 0.0,
             "efficiencies must be positive"
@@ -154,7 +157,16 @@ impl Device {
     /// NVIDIA RTX 2080 Ti (250 W): 13.4 TFLOPS FP32, 616 GB/s.
     #[must_use]
     pub fn rtx_2080_ti() -> Self {
-        Device::new("RTX 2080 Ti", 13.4e12, 616.0e9, 0.55, 0.03, 0.15, 2.0e-5, 4.0)
+        Device::new(
+            "RTX 2080 Ti",
+            13.4e12,
+            616.0e9,
+            0.55,
+            0.03,
+            0.15,
+            2.0e-5,
+            4.0,
+        )
     }
 
     /// Google Coral edge TPU (4 W): 4 TOPS INT8, host-fed.
@@ -245,8 +257,7 @@ impl TpuLikeArray {
                 // generated host-side and fetched across the accelerator
                 // interface — none of it reusable across outputs.
                 let circulant_bytes = (n_vec * dim * dim) as f64;
-                let transfer =
-                    (circulant_bytes / self.circulant_bytes_per_cycle).ceil() as u64;
+                let transfer = (circulant_bytes / self.circulant_bytes_per_cycle).ceil() as u64;
                 let dispatch = (self.symbolic_dispatch_s * self.freq_hz) as u64;
                 gemm + transfer + dispatch
             }
@@ -331,8 +342,8 @@ impl DeviceModel for DpuLike {
                     // Everything non-GEMM runs on the embedded host.
                     let flops = 2.0 * kind.macs() as f64;
                     let bytes = lowered_elems(kind) as f64 * 4.0;
-                    let t = (flops / self.host_flops).max(bytes / self.host_bw)
-                        + self.host_overhead;
+                    let t =
+                        (flops / self.host_flops).max(bytes / self.host_bw) + self.host_overhead;
                     match domain {
                         Domain::Neural => neural += t,
                         Domain::Symbolic => symbolic += t,
@@ -359,7 +370,11 @@ mod tests {
         let mut b = TraceBuilder::new("mixed");
         let c = b.push(
             "conv",
-            OpKind::Gemm { m: 6400, n: 64, k: 576 },
+            OpKind::Gemm {
+                m: 6400,
+                n: 64,
+                k: 576,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
@@ -368,7 +383,10 @@ mod tests {
         for i in 0..16 {
             prev = b.push(
                 format!("bind{i}"),
-                OpKind::VsaConv { n_vec: 4, dim: 1024 },
+                OpKind::VsaConv {
+                    n_vec: 4,
+                    dim: 1024,
+                },
                 Domain::Symbolic,
                 DType::Int4,
                 &[prev],
@@ -430,7 +448,11 @@ mod tests {
             let mut b = TraceBuilder::new("nn");
             b.push(
                 "conv",
-                OpKind::Gemm { m: 4096, n: 1024, k: 1024 },
+                OpKind::Gemm {
+                    m: 4096,
+                    n: 1024,
+                    k: 1024,
+                },
                 Domain::Neural,
                 DType::Int8,
                 &[],
@@ -441,7 +463,10 @@ mod tests {
             let mut b = TraceBuilder::new("vsa");
             b.push(
                 "bind",
-                OpKind::VsaConv { n_vec: 4, dim: 1024 },
+                OpKind::VsaConv {
+                    n_vec: 4,
+                    dim: 1024,
+                },
                 Domain::Symbolic,
                 DType::Int4,
                 &[],
@@ -466,7 +491,11 @@ mod tests {
         let dpu = DpuLike::new_b4096();
         let t = mixed_trace(1);
         let r = dpu.run(&t);
-        assert!(r.symbolic_fraction() > 0.8, "fraction {}", r.symbolic_fraction());
+        assert!(
+            r.symbolic_fraction() > 0.8,
+            "fraction {}",
+            r.symbolic_fraction()
+        );
     }
 
     #[test]

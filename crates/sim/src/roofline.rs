@@ -20,7 +20,10 @@ impl Roof {
     /// The RTX 2080 Ti roof used in Fig. 1c.
     #[must_use]
     pub fn rtx_2080_ti() -> Self {
-        Roof { peak_flops: 13.4e12, peak_bw: 616.0e9 }
+        Roof {
+            peak_flops: 13.4e12,
+            peak_bw: 616.0e9,
+        }
     }
 
     /// Intensity at which the compute and bandwidth roofs meet
@@ -131,7 +134,11 @@ mod tests {
         // Dense conv: high reuse (weights amortized over 6400 pixels).
         let c = b.push(
             "conv",
-            OpKind::Gemm { m: 6400, n: 256, k: 1152 },
+            OpKind::Gemm {
+                m: 6400,
+                n: 256,
+                k: 1152,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
@@ -139,7 +146,10 @@ mod tests {
         // Symbolic similarity: touches every byte once.
         let _s = b.push(
             "sim",
-            OpKind::Similarity { n_vec: 64, dim: 1024 },
+            OpKind::Similarity {
+                n_vec: 64,
+                dim: 1024,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[c],
@@ -155,7 +165,10 @@ mod tests {
 
     #[test]
     fn attainable_clamps_at_peak() {
-        let r = Roof { peak_flops: 100.0, peak_bw: 10.0 };
+        let r = Roof {
+            peak_flops: 100.0,
+            peak_bw: 10.0,
+        };
         assert_eq!(r.attainable(5.0), 50.0);
         assert_eq!(r.attainable(100.0), 100.0);
     }
@@ -176,7 +189,11 @@ mod tests {
         let mut b = TraceBuilder::new("nn_only");
         b.push(
             "conv",
-            OpKind::Gemm { m: 64, n: 64, k: 64 },
+            OpKind::Gemm {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
             Domain::Neural,
             DType::Int8,
             &[],

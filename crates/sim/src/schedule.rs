@@ -103,7 +103,9 @@ impl Schedule {
                 Resource::Simd => "SIMD",
             };
             let a = ((so.start as f64 / span) * width as f64) as usize;
-            let b = (((so.end as f64 / span) * width as f64) as usize).max(a + 1).min(width);
+            let b = (((so.end as f64 / span) * width as f64) as usize)
+                .max(a + 1)
+                .min(width);
             let mut bar = vec![b' '; width];
             for c in bar.iter_mut().take(b).skip(a) {
                 *c = b'#';
@@ -148,7 +150,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { simd_lanes: 64, transfer: Some(TransferModel::default()) }
+        SimOptions {
+            simd_lanes: 64,
+            transfer: Some(TransferModel::default()),
+        }
     }
 }
 
@@ -173,10 +178,16 @@ pub fn run(
     assert_eq!(mapping.n_v.len(), vsa_nodes.len(), "VSA mapping length");
 
     // Per-op resource + latency (loop-invariant).
-    let nn_index: std::collections::HashMap<OpId, usize> =
-        nn_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
-    let vsa_index: std::collections::HashMap<OpId, usize> =
-        vsa_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let nn_index: std::collections::HashMap<OpId, usize> = nn_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
+    let vsa_index: std::collections::HashMap<OpId, usize> = vsa_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
 
     let mut latencies = Vec::with_capacity(trace.ops().len());
     let mut resources = Vec::with_capacity(trace.ops().len());
@@ -200,7 +211,10 @@ pub fn run(
                     .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
                 (compute + stall, Resource::VsaPartition)
             }
-            ref k => (simd::op_cycles(k, options.simd_lanes).max(1), Resource::Simd),
+            ref k => (
+                simd::op_cycles(k, options.simd_lanes).max(1),
+                Resource::Simd,
+            ),
         };
         latencies.push(latency.max(1));
         resources.push(resource);
@@ -287,10 +301,16 @@ pub fn run_pooled(
     assert_eq!(mapping.n_v.len(), vsa_nodes.len(), "VSA mapping length");
     let pool = cfg.n_subarrays();
 
-    let nn_index: std::collections::HashMap<OpId, usize> =
-        nn_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
-    let vsa_index: std::collections::HashMap<OpId, usize> =
-        vsa_nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let nn_index: std::collections::HashMap<OpId, usize> = nn_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
+    let vsa_index: std::collections::HashMap<OpId, usize> = vsa_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
 
     // Per-op latency, pool demand and class (loop-invariant).
     let n_ops = trace.ops().len();
@@ -385,7 +405,11 @@ pub fn run_pooled(
             let end = now + latency[p];
             running.push(Reverse((end, inst)));
             // Pool utilization weights busy time by claimed sub-arrays.
-            let weight = if class[p] == Resource::Simd { 1 } else { demand[p] as u64 };
+            let weight = if class[p] == Resource::Simd {
+                1
+            } else {
+                demand[p] as u64
+            };
             *busy.entry(class[p]).or_insert(0) += latency[p] * weight;
             makespan = makespan.max(end);
             scheduled.push(ScheduledOp {
@@ -449,21 +473,31 @@ mod tests {
         let mut b = TraceBuilder::new("t");
         let c = b.push(
             "conv",
-            OpKind::Gemm { m: 256, n: 64, k: 64 },
+            OpKind::Gemm {
+                m: 256,
+                n: 64,
+                k: 64,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let r = b.push(
             "relu",
-            OpKind::Elementwise { elems: 256 * 64, func: EltFunc::Relu },
+            OpKind::Elementwise {
+                elems: 256 * 64,
+                func: EltFunc::Relu,
+            },
             Domain::Neural,
             DType::Int8,
             &[c],
         );
         let v = b.push(
             "bind",
-            OpKind::VsaConv { n_vec: 16, dim: 128 },
+            OpKind::VsaConv {
+                n_vec: 16,
+                dim: 128,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[r],
@@ -485,7 +519,12 @@ mod tests {
     #[test]
     fn dependencies_are_respected() {
         let g = graph(1);
-        let s = run(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let s = run(
+            &g,
+            &cfg(),
+            &Mapping::uniform(1, 1, 3, 1),
+            &SimOptions::default(),
+        );
         let by_op: std::collections::HashMap<usize, &ScheduledOp> =
             s.ops().iter().map(|so| (so.op.index(), so)).collect();
         for op in g.trace().ops() {
@@ -502,8 +541,17 @@ mod tests {
     #[test]
     fn resources_never_overlap() {
         let g = graph(4);
-        let s = run(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
-        for r in [Resource::NnPartition, Resource::VsaPartition, Resource::Simd] {
+        let s = run(
+            &g,
+            &cfg(),
+            &Mapping::uniform(1, 1, 3, 1),
+            &SimOptions::default(),
+        );
+        for r in [
+            Resource::NnPartition,
+            Resource::VsaPartition,
+            Resource::Simd,
+        ] {
             let mut intervals: Vec<(u64, u64)> = s
                 .ops()
                 .iter()
@@ -524,14 +572,21 @@ mod tests {
         let mut b = TraceBuilder::new("overlap");
         let c = b.push(
             "conv",
-            OpKind::Gemm { m: 256, n: 16, k: 64 },
+            OpKind::Gemm {
+                m: 256,
+                n: 16,
+                k: 64,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let _v = b.push(
             "bind",
-            OpKind::VsaConv { n_vec: 64, dim: 128 },
+            OpKind::VsaConv {
+                n_vec: 64,
+                dim: 128,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[c],
@@ -542,8 +597,18 @@ mod tests {
     #[test]
     fn pipelining_beats_serial_execution_when_parts_balance() {
         let g = overlap_friendly_graph(8);
-        let par = run(&g, &cfg(), &Mapping::uniform(1, 1, 1, 3), &SimOptions::default());
-        let seq = run(&g, &cfg(), &Mapping::sequential(1, 1, 4), &SimOptions::default());
+        let par = run(
+            &g,
+            &cfg(),
+            &Mapping::uniform(1, 1, 1, 3),
+            &SimOptions::default(),
+        );
+        let seq = run(
+            &g,
+            &cfg(),
+            &Mapping::sequential(1, 1, 4),
+            &SimOptions::default(),
+        );
         assert!(
             par.total_cycles() < seq.total_cycles(),
             "parallel {} !< sequential {}",
@@ -558,8 +623,18 @@ mod tests {
         // overlap only hides the smaller VSA time — the case Algorithm 1's
         // sequential-mode check exists for.
         let g = graph(8);
-        let par = run(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
-        let seq = run(&g, &cfg(), &Mapping::sequential(1, 1, 4), &SimOptions::default());
+        let par = run(
+            &g,
+            &cfg(),
+            &Mapping::uniform(1, 1, 3, 1),
+            &SimOptions::default(),
+        );
+        let seq = run(
+            &g,
+            &cfg(),
+            &Mapping::sequential(1, 1, 4),
+            &SimOptions::default(),
+        );
         assert!(
             seq.total_cycles() < par.total_cycles(),
             "sequential {} !< parallel {}",
@@ -572,7 +647,10 @@ mod tests {
     fn single_loop_matches_analytical_parallel_bound() {
         let g = graph(1);
         let m = Mapping::uniform(1, 1, 3, 1);
-        let opts = SimOptions { simd_lanes: 64, transfer: None };
+        let opts = SimOptions {
+            simd_lanes: 64,
+            transfer: None,
+        };
         let s = run(&g, &cfg(), &m, &opts);
         let t = analytical::loop_timing(&g, &cfg(), &m, 64);
         // The schedule serializes the dependent chain, so it is at least
@@ -600,7 +678,12 @@ mod tests {
     #[test]
     fn gantt_text_lists_every_instance_in_start_order() {
         let g = graph(2);
-        let s = run_pooled(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let s = run_pooled(
+            &g,
+            &cfg(),
+            &Mapping::uniform(1, 1, 3, 1),
+            &SimOptions::default(),
+        );
         let text = s.to_gantt_text(&g);
         assert_eq!(text.lines().count(), g.trace().ops().len() * 2);
         assert!(text.contains("conv"));
@@ -610,7 +693,13 @@ mod tests {
             .lines()
             .map(|l| {
                 let nums = l.split('|').nth(2).unwrap();
-                nums.trim().split("..").next().unwrap().trim().parse().unwrap()
+                nums.trim()
+                    .split("..")
+                    .next()
+                    .unwrap()
+                    .trim()
+                    .parse()
+                    .unwrap()
             })
             .collect();
         assert!(starts.windows(2).all(|w| w[0] <= w[1]));
@@ -646,8 +735,14 @@ mod tests {
     #[test]
     fn pooled_respects_dependencies_and_instance_serialization() {
         let g = graph(4);
-        let s = run_pooled(&g, &cfg(), &Mapping::uniform(1, 1, 2, 1), &SimOptions::default());
-        let mut end: std::collections::HashMap<(usize, usize), u64> = std::collections::HashMap::new();
+        let s = run_pooled(
+            &g,
+            &cfg(),
+            &Mapping::uniform(1, 1, 2, 1),
+            &SimOptions::default(),
+        );
+        let mut end: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
         for so in s.ops() {
             end.insert((so.loop_idx, so.op.index()), so.end);
         }
@@ -677,7 +772,12 @@ mod tests {
     #[test]
     fn pooled_utilization_uses_pool_denominator() {
         let g = graph(4);
-        let s = run_pooled(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let s = run_pooled(
+            &g,
+            &cfg(),
+            &Mapping::uniform(1, 1, 3, 1),
+            &SimOptions::default(),
+        );
         let u = s.array_utilization();
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
     }
@@ -686,7 +786,10 @@ mod tests {
     fn transfer_stalls_increase_latency() {
         let g = graph(1);
         let m = Mapping::uniform(1, 1, 3, 1);
-        let fast = SimOptions { simd_lanes: 64, transfer: None };
+        let fast = SimOptions {
+            simd_lanes: 64,
+            transfer: None,
+        };
         let slow = SimOptions {
             simd_lanes: 64,
             transfer: Some(TransferModel::new(0.25)), // 1 byte per 4 cycles
@@ -699,7 +802,12 @@ mod tests {
     #[test]
     fn utilization_and_seconds() {
         let g = graph(4);
-        let s = run(&g, &cfg(), &Mapping::uniform(1, 1, 3, 1), &SimOptions::default());
+        let s = run(
+            &g,
+            &cfg(),
+            &Mapping::uniform(1, 1, 3, 1),
+            &SimOptions::default(),
+        );
         let u = s.array_utilization();
         assert!(u > 0.0 && u <= 1.0);
         let secs = s.seconds_at(272.0e6);

@@ -38,7 +38,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::EmptyShape => write!(f, "shape must have at least one dimension"),
             TensorError::IndexOutOfBounds { index, bound } => {
@@ -63,15 +66,26 @@ mod tests {
     #[test]
     fn display_is_lowercase_without_trailing_punctuation() {
         let msgs = [
-            TensorError::ShapeMismatch { expected: 4, actual: 3 }.to_string(),
+            TensorError::ShapeMismatch {
+                expected: 4,
+                actual: 3,
+            }
+            .to_string(),
             TensorError::EmptyShape.to_string(),
             TensorError::IndexOutOfBounds { index: 9, bound: 4 }.to_string(),
             TensorError::InvalidQuantInput("empty".into()).to_string(),
-            TensorError::IncompatibleShapes { lhs: "[2]".into(), rhs: "[3]".into() }.to_string(),
+            TensorError::IncompatibleShapes {
+                lhs: "[2]".into(),
+                rhs: "[3]".into(),
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "no trailing period: {m}");
-            assert!(m.chars().next().is_some_and(|c| c.is_lowercase()), "lowercase start: {m}");
+            assert!(
+                m.chars().next().is_some_and(|c| c.is_lowercase()),
+                "lowercase start: {m}"
+            );
         }
     }
 

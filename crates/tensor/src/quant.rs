@@ -43,7 +43,9 @@ impl QuantParams {
             )));
         }
         if !(scale.is_finite() && scale > 0.0) {
-            return Err(TensorError::InvalidQuantInput(format!("scale {scale} must be positive")));
+            return Err(TensorError::InvalidQuantInput(format!(
+                "scale {scale} must be positive"
+            )));
         }
         Ok(QuantParams { dtype, scale })
     }
@@ -62,7 +64,9 @@ impl QuantParams {
         let mut max_abs = 0.0f32;
         for &v in values {
             if !v.is_finite() {
-                return Err(TensorError::InvalidQuantInput(format!("non-finite value {v}")));
+                return Err(TensorError::InvalidQuantInput(format!(
+                    "non-finite value {v}"
+                )));
             }
             max_abs = max_abs.max(v.abs());
         }
@@ -71,7 +75,11 @@ impl QuantParams {
             .ok_or_else(|| TensorError::InvalidQuantInput(format!("{dtype} is not integer")))?
             as f32;
         // An all-zero tensor still gets a valid (arbitrary) scale.
-        let scale = if max_abs == 0.0 { 1.0 / qmax } else { max_abs / qmax };
+        let scale = if max_abs == 0.0 {
+            1.0 / qmax
+        } else {
+            max_abs / qmax
+        };
         QuantParams::with_scale(dtype, scale)
     }
 

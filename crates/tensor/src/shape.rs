@@ -33,7 +33,9 @@ impl Shape {
     /// Creates a rank-2 shape `[rows, cols]`.
     #[must_use]
     pub fn matrix(rows: usize, cols: usize) -> Self {
-        Shape { dims: vec![rows, cols] }
+        Shape {
+            dims: vec![rows, cols],
+        }
     }
 
     /// Number of axes.
@@ -57,7 +59,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::IndexOutOfBounds { index: axis, bound: self.dims.len() })
+            .ok_or(TensorError::IndexOutOfBounds {
+                index: axis,
+                bound: self.dims.len(),
+            })
     }
 
     /// Total number of elements (product of dimensions; 1 for rank 0).

@@ -43,20 +43,29 @@ impl Tensor {
     #[must_use]
     pub fn zeros(shape: Shape) -> Self {
         let n = shape.volume();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     #[must_use]
     pub fn full(shape: Shape, value: f32) -> Self {
         let n = shape.volume();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Creates a rank-1 tensor from a slice.
     #[must_use]
     pub fn from_slice(values: &[f32]) -> Self {
-        Tensor { shape: Shape::vector(values.len()), data: values.to_vec() }
+        Tensor {
+            shape: Shape::vector(values.len()),
+            data: values.to_vec(),
+        }
     }
 
     /// The tensor's shape.
@@ -115,7 +124,10 @@ impl Tensor {
                 actual: self.data.len(),
             });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Element-wise addition.
@@ -139,7 +151,10 @@ impl Tensor {
     /// Applies `f` element-wise, producing a new tensor.
     #[must_use]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Scales every element by `s`.
@@ -203,7 +218,12 @@ impl Tensor {
         self.check_same_shape(rhs)?;
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         })
     }
 }

@@ -30,7 +30,10 @@ impl TraceBuilder {
     /// Starts an empty trace with the given workload name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        TraceBuilder { name: name.into(), ops: Vec::new() }
+        TraceBuilder {
+            name: name.into(),
+            ops: Vec::new(),
+        }
     }
 
     /// Appends an op and returns its id.
@@ -91,7 +94,10 @@ mod tests {
 
     #[test]
     fn empty_builder_fails_to_finish() {
-        assert_eq!(TraceBuilder::new("e").finish(1).unwrap_err(), TraceError::EmptyTrace);
+        assert_eq!(
+            TraceBuilder::new("e").finish(1).unwrap_err(),
+            TraceError::EmptyTrace
+        );
     }
 
     #[test]
@@ -99,7 +105,13 @@ mod tests {
         let mut b = TraceBuilder::new("d");
         // Reference a forward op id (1) from op 0.
         let fake = OpId(1);
-        b.push("bad", OpKind::Gemm { m: 1, n: 1, k: 1 }, Domain::Neural, DType::Fp32, &[fake]);
+        b.push(
+            "bad",
+            OpKind::Gemm { m: 1, n: 1, k: 1 },
+            Domain::Neural,
+            DType::Fp32,
+            &[fake],
+        );
         assert!(matches!(b.finish(1), Err(TraceError::DanglingInput { .. })));
     }
 
@@ -107,22 +119,46 @@ mod tests {
     fn self_reference_rejected() {
         let mut b = TraceBuilder::new("s");
         let own = OpId(0);
-        b.push("selfish", OpKind::Gemm { m: 1, n: 1, k: 1 }, Domain::Neural, DType::Fp32, &[own]);
+        b.push(
+            "selfish",
+            OpKind::Gemm { m: 1, n: 1, k: 1 },
+            Domain::Neural,
+            DType::Fp32,
+            &[own],
+        );
         assert!(matches!(b.finish(1), Err(TraceError::DanglingInput { .. })));
     }
 
     #[test]
     fn zero_dimension_rejected() {
         let mut b = TraceBuilder::new("z");
-        b.push("zero", OpKind::Gemm { m: 0, n: 1, k: 1 }, Domain::Neural, DType::Fp32, &[]);
+        b.push(
+            "zero",
+            OpKind::Gemm { m: 0, n: 1, k: 1 },
+            Domain::Neural,
+            DType::Fp32,
+            &[],
+        );
         assert!(matches!(b.finish(1), Err(TraceError::ZeroDimension { .. })));
     }
 
     #[test]
     fn ids_are_sequential() {
         let mut b = TraceBuilder::new("seq");
-        let a = b.push("a", OpKind::Gemm { m: 1, n: 1, k: 1 }, Domain::Neural, DType::Fp32, &[]);
-        let c = b.push("c", OpKind::Gemm { m: 1, n: 1, k: 1 }, Domain::Neural, DType::Fp32, &[a]);
+        let a = b.push(
+            "a",
+            OpKind::Gemm { m: 1, n: 1, k: 1 },
+            Domain::Neural,
+            DType::Fp32,
+            &[],
+        );
+        let c = b.push(
+            "c",
+            OpKind::Gemm { m: 1, n: 1, k: 1 },
+            Domain::Neural,
+            DType::Fp32,
+            &[a],
+        );
         assert_eq!(a.index(), 0);
         assert_eq!(c.index(), 1);
         assert_eq!(b.last_id(), Some(c));

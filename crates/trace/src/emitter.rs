@@ -31,7 +31,11 @@ pub fn emit_trace(trace: &ExecutionTrace) -> (String, ModuleRegistry) {
     for op in trace.ops() {
         let args: Vec<String> = if op.inputs().is_empty() {
             // External input placeholder with a matching element count.
-            vec![format!("%ext_{}[{}]", op.id().index(), op.kind().input_elems().max(1))]
+            vec![format!(
+                "%ext_{}[{}]",
+                op.id().index(),
+                op.kind().input_elems().max(1)
+            )]
         } else {
             op.inputs()
                 .iter()
@@ -125,7 +129,11 @@ fn dims_text(kind: &OpKind) -> String {
 /// carry losslessly.
 #[must_use]
 pub fn structural_signature(trace: &ExecutionTrace) -> Vec<(OpKind, usize)> {
-    trace.ops().iter().map(|op| (*op.kind(), op.inputs().len())).collect()
+    trace
+        .ops()
+        .iter()
+        .map(|op| (*op.kind(), op.inputs().len()))
+        .collect()
 }
 
 /// Does the dtype assignment the parser will produce match the trace's?
@@ -145,14 +153,21 @@ mod tests {
         let mut b = TraceBuilder::new("sample");
         let c = b.push(
             "conv1",
-            OpKind::Gemm { m: 64, n: 16, k: 27 },
+            OpKind::Gemm {
+                m: 64,
+                n: 16,
+                k: 27,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let r = b.push(
             "relu1",
-            OpKind::Elementwise { elems: 1024, func: EltFunc::Relu },
+            OpKind::Elementwise {
+                elems: 1024,
+                func: EltFunc::Relu,
+            },
             Domain::Neural,
             DType::Int8,
             &[c],
@@ -166,14 +181,20 @@ mod tests {
         );
         let s = b.push(
             "match1",
-            OpKind::Similarity { n_vec: 8, dim: 1024 },
+            OpKind::Similarity {
+                n_vec: 8,
+                dim: 1024,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[v],
         );
         let _sum = b.push(
             "sum1",
-            OpKind::Reduce { elems: 8, func: ReduceFunc::Sum },
+            OpKind::Reduce {
+                elems: 8,
+                func: ReduceFunc::Sum,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[s],

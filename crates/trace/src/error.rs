@@ -40,7 +40,10 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::DanglingInput { op, input } => {
-                write!(f, "op {op} references input #{input} that does not precede it")
+                write!(
+                    f,
+                    "op {op} references input #{input} that does not precede it"
+                )
             }
             TraceError::EmptyTrace => write!(f, "trace must contain at least one op"),
             TraceError::ZeroLoopCount => write!(f, "loop count must be at least 1"),
@@ -51,7 +54,10 @@ impl fmt::Display for TraceError {
                 write!(f, "trace parse error at line {line}: {message}")
             }
             TraceError::UnknownModule { line, target } => {
-                write!(f, "line {line}: call_module target {target} is not in the module registry")
+                write!(
+                    f,
+                    "line {line}: call_module target {target} is not in the module registry"
+                )
             }
         }
     }
@@ -72,12 +78,21 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            TraceError::DanglingInput { op: "x".into(), input: 3 },
+            TraceError::DanglingInput {
+                op: "x".into(),
+                input: 3,
+            },
             TraceError::EmptyTrace,
             TraceError::ZeroLoopCount,
             TraceError::ZeroDimension { op: "x".into() },
-            TraceError::ParseLine { line: 2, message: "bad".into() },
-            TraceError::UnknownModule { line: 4, target: "conv9".into() },
+            TraceError::ParseLine {
+                line: 2,
+                message: "bad".into(),
+            },
+            TraceError::UnknownModule {
+                line: 4,
+                target: "conv9".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -293,16 +293,35 @@ mod tests {
     fn classification() {
         assert!(OpKind::Gemm { m: 1, n: 1, k: 1 }.is_array_op());
         assert!(OpKind::VsaConv { n_vec: 1, dim: 8 }.is_array_op());
-        assert!(OpKind::Elementwise { elems: 4, func: EltFunc::Relu }.is_simd_op());
-        assert!(OpKind::Reduce { elems: 4, func: ReduceFunc::Sum }.is_simd_op());
-        assert!(OpKind::Similarity { n_vec: 7, dim: 1024 }.is_simd_op());
+        assert!(OpKind::Elementwise {
+            elems: 4,
+            func: EltFunc::Relu
+        }
+        .is_simd_op());
+        assert!(OpKind::Reduce {
+            elems: 4,
+            func: ReduceFunc::Sum
+        }
+        .is_simd_op());
+        assert!(OpKind::Similarity {
+            n_vec: 7,
+            dim: 1024
+        }
+        .is_simd_op());
     }
 
     #[test]
     fn mac_counts() {
         assert_eq!(OpKind::Gemm { m: 2, n: 3, k: 4 }.macs(), 24);
         assert_eq!(OpKind::VsaConv { n_vec: 4, dim: 256 }.macs(), 4 * 256 * 256);
-        assert_eq!(OpKind::Similarity { n_vec: 7, dim: 1024 }.macs(), 7 * 1024);
+        assert_eq!(
+            OpKind::Similarity {
+                n_vec: 7,
+                dim: 1024
+            }
+            .macs(),
+            7 * 1024
+        );
     }
 
     #[test]
@@ -315,7 +334,10 @@ mod tests {
         assert_eq!(v.output_elems(), 1024);
         assert_eq!(v.input_elems(), 2048);
         assert_eq!(v.weight_elems(), 1024);
-        let r = OpKind::Reduce { elems: 100, func: ReduceFunc::Sum };
+        let r = OpKind::Reduce {
+            elems: 100,
+            func: ReduceFunc::Sum,
+        };
         assert_eq!(r.output_elems(), 1);
     }
 
@@ -324,12 +346,19 @@ mod tests {
         assert!(OpKind::Gemm { m: 1, n: 1, k: 1 }.is_well_formed());
         assert!(!OpKind::Gemm { m: 0, n: 1, k: 1 }.is_well_formed());
         assert!(!OpKind::VsaConv { n_vec: 1, dim: 0 }.is_well_formed());
-        assert!(!OpKind::Elementwise { elems: 0, func: EltFunc::Add }.is_well_formed());
+        assert!(!OpKind::Elementwise {
+            elems: 0,
+            func: EltFunc::Add
+        }
+        .is_well_formed());
     }
 
     #[test]
     fn display_formats() {
-        assert_eq!(OpKind::Gemm { m: 1, n: 2, k: 3 }.to_string(), "gemm(m=1, n=2, k=3)");
+        assert_eq!(
+            OpKind::Gemm { m: 1, n: 2, k: 3 }.to_string(),
+            "gemm(m=1, n=2, k=3)"
+        );
         assert_eq!(OpId(4).to_string(), "%4");
         assert_eq!(Domain::Symbolic.to_string(), "symbolic");
     }

@@ -34,7 +34,9 @@ use std::collections::HashMap;
 
 use nsflow_tensor::DType;
 
-use crate::{Domain, EltFunc, ExecutionTrace, OpId, OpKind, ReduceFunc, Result, TraceBuilder, TraceError};
+use crate::{
+    Domain, EltFunc, ExecutionTrace, OpId, OpKind, ReduceFunc, Result, TraceBuilder, TraceError,
+};
 
 /// Extra information the trace text does not carry: the reduction length
 /// (`k`) of each GEMM-class module target.
@@ -75,7 +77,10 @@ pub struct ParsePrecision {
 impl Default for ParsePrecision {
     fn default() -> Self {
         // The paper's NVSA deployment: INT8 NN, INT4 symbolic (Tab. III).
-        ParsePrecision { neural: DType::Int8, symbolic: DType::Int4 }
+        ParsePrecision {
+            neural: DType::Int8,
+            symbolic: DType::Int4,
+        }
     }
 }
 
@@ -109,10 +114,16 @@ pub fn parse_trace(
             continue;
         }
         let parsed = parse_line(line, lineno)?;
-        let input_ids: Vec<OpId> =
-            parsed.args.iter().filter_map(|a| ids.get(&a.name).copied()).collect();
+        let input_ids: Vec<OpId> = parsed
+            .args
+            .iter()
+            .filter_map(|a| ids.get(&a.name).copied())
+            .collect();
 
-        let inherited = if input_ids.iter().any(|id| domains.get(id) == Some(&Domain::Symbolic)) {
+        let inherited = if input_ids
+            .iter()
+            .any(|id| domains.get(id) == Some(&Domain::Symbolic))
+        {
             Domain::Symbolic
         } else {
             Domain::Neural
@@ -146,7 +157,10 @@ struct ParsedLine {
 }
 
 fn parse_line(line: &str, lineno: usize) -> Result<ParsedLine> {
-    let err = |message: &str| TraceError::ParseLine { line: lineno, message: message.into() };
+    let err = |message: &str| TraceError::ParseLine {
+        line: lineno,
+        message: message.into(),
+    };
 
     let (lhs, rhs) = line.split_once(':').ok_or_else(|| err("missing ':'"))?;
     let lhs_ref = parse_ref(lhs.trim(), lineno)?;
@@ -159,7 +173,9 @@ fn parse_line(line: &str, lineno: usize) -> Result<ParsedLine> {
     } else {
         return Err(err("expected call_module[…] or call_function[…]"));
     };
-    let (target, rest) = rest.split_once(']').ok_or_else(|| err("unclosed target bracket"))?;
+    let (target, rest) = rest
+        .split_once(']')
+        .ok_or_else(|| err("unclosed target bracket"))?;
 
     let args_start = rest.find('(').ok_or_else(|| err("missing args list"))?;
     let args_str = &rest[args_start + 1..];
@@ -222,25 +238,39 @@ fn split_top_level_args(s: &str) -> Vec<String> {
 }
 
 fn parse_ref(s: &str, lineno: usize) -> Result<ParsedRef> {
-    let err = |message: &str| TraceError::ParseLine { line: lineno, message: message.into() };
+    let err = |message: &str| TraceError::ParseLine {
+        line: lineno,
+        message: message.into(),
+    };
     let s = s.trim();
-    let s = s.strip_prefix('%').ok_or_else(|| err("reference must start with '%'"))?;
+    let s = s
+        .strip_prefix('%')
+        .ok_or_else(|| err("reference must start with '%'"))?;
     let (name, rest) = match s.find('[') {
         Some(i) => (&s[..i], &s[i..]),
         None => (s, ""),
     };
     let mut dims = Vec::new();
     if let Some(inner) = rest.strip_prefix('[') {
-        let inner = inner.split(']').next().ok_or_else(|| err("unclosed dims bracket"))?;
+        let inner = inner
+            .split(']')
+            .next()
+            .ok_or_else(|| err("unclosed dims bracket"))?;
         for d in inner.split(',') {
             let d = d.trim();
             if d.is_empty() {
                 continue;
             }
-            dims.push(d.parse::<usize>().map_err(|_| err("non-numeric dimension"))?);
+            dims.push(
+                d.parse::<usize>()
+                    .map_err(|_| err("non-numeric dimension"))?,
+            );
         }
     }
-    Ok(ParsedRef { name: name.trim().to_string(), dims })
+    Ok(ParsedRef {
+        name: name.trim().to_string(),
+        dims,
+    })
 }
 
 fn classify(
@@ -263,23 +293,35 @@ fn classify(
         }
         if t.starts_with("relu") || t.starts_with("sigmoid") {
             return Ok((
-                OpKind::Elementwise { elems: out_volume, func: EltFunc::Relu },
+                OpKind::Elementwise {
+                    elems: out_volume,
+                    func: EltFunc::Relu,
+                },
                 Domain::Neural,
             ));
         }
         if t.starts_with("bn") || t.starts_with("batchnorm") {
             return Ok((
-                OpKind::Elementwise { elems: out_volume, func: EltFunc::Affine },
+                OpKind::Elementwise {
+                    elems: out_volume,
+                    func: EltFunc::Affine,
+                },
                 Domain::Neural,
             ));
         }
         if t.contains("pool") {
             return Ok((
-                OpKind::Elementwise { elems: out_volume, func: EltFunc::PoolMax },
+                OpKind::Elementwise {
+                    elems: out_volume,
+                    func: EltFunc::PoolMax,
+                },
                 Domain::Neural,
             ));
         }
-        return Err(TraceError::UnknownModule { line: lineno, target: p.target.clone() });
+        return Err(TraceError::UnknownModule {
+            line: lineno,
+            target: p.target.clone(),
+        });
     }
 
     // call_function targets.
@@ -305,27 +347,79 @@ fn classify(
         return Ok((OpKind::Similarity { n_vec, dim }, Domain::Symbolic));
     }
     if t.ends_with("sum") {
-        let elems = p.args.iter().map(|a| a.dims.iter().product::<usize>()).max().unwrap_or(1);
-        return Ok((OpKind::Reduce { elems: elems.max(1), func: ReduceFunc::Sum }, inherited));
+        let elems = p
+            .args
+            .iter()
+            .map(|a| a.dims.iter().product::<usize>())
+            .max()
+            .unwrap_or(1);
+        return Ok((
+            OpKind::Reduce {
+                elems: elems.max(1),
+                func: ReduceFunc::Sum,
+            },
+            inherited,
+        ));
     }
     if t.contains("norm") {
-        let elems = p.args.iter().map(|a| a.dims.iter().product::<usize>()).max().unwrap_or(1);
-        return Ok((OpKind::Reduce { elems: elems.max(1), func: ReduceFunc::Norm }, inherited));
+        let elems = p
+            .args
+            .iter()
+            .map(|a| a.dims.iter().product::<usize>())
+            .max()
+            .unwrap_or(1);
+        return Ok((
+            OpKind::Reduce {
+                elems: elems.max(1),
+                func: ReduceFunc::Norm,
+            },
+            inherited,
+        ));
     }
     if t.contains("softmax") {
-        return Ok((OpKind::Elementwise { elems: out_volume, func: EltFunc::Softmax }, inherited));
+        return Ok((
+            OpKind::Elementwise {
+                elems: out_volume,
+                func: EltFunc::Softmax,
+            },
+            inherited,
+        ));
     }
     if t.contains("clamp") {
-        return Ok((OpKind::Elementwise { elems: out_volume, func: EltFunc::Clamp }, inherited));
+        return Ok((
+            OpKind::Elementwise {
+                elems: out_volume,
+                func: EltFunc::Clamp,
+            },
+            inherited,
+        ));
     }
     if t.ends_with("mul") {
-        return Ok((OpKind::Elementwise { elems: out_volume, func: EltFunc::Mul }, inherited));
+        return Ok((
+            OpKind::Elementwise {
+                elems: out_volume,
+                func: EltFunc::Mul,
+            },
+            inherited,
+        ));
     }
     if t.ends_with("add") {
-        return Ok((OpKind::Elementwise { elems: out_volume, func: EltFunc::Add }, inherited));
+        return Ok((
+            OpKind::Elementwise {
+                elems: out_volume,
+                func: EltFunc::Add,
+            },
+            inherited,
+        ));
     }
     if t.ends_with("div") {
-        return Ok((OpKind::Elementwise { elems: out_volume, func: EltFunc::Div }, inherited));
+        return Ok((
+            OpKind::Elementwise {
+                elems: out_volume,
+                func: EltFunc::Div,
+            },
+            inherited,
+        ));
     }
     Err(TraceError::ParseLine {
         line: lineno,
@@ -349,7 +443,10 @@ fn vsa_shape(dims: &[usize]) -> (usize, usize) {
     match dims.len() {
         0 => (1, 1),
         1 => (1, dims[0]),
-        _ => (dims[..dims.len() - 1].iter().product(), dims[dims.len() - 1]),
+        _ => (
+            dims[..dims.len() - 1].iter().product(),
+            dims[dims.len() - 1],
+        ),
     }
 }
 
@@ -385,8 +482,14 @@ mod tests {
 
     #[test]
     fn parses_listing1() {
-        let t = parse_trace(LISTING1_NVSA, "nvsa", &registry(), ParsePrecision::default(), 1)
-            .unwrap();
+        let t = parse_trace(
+            LISTING1_NVSA,
+            "nvsa",
+            &registry(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap();
         assert_eq!(t.ops().len(), 9);
         assert_eq!(t.nn_nodes().len(), 1);
         assert_eq!(t.vsa_nodes().len(), 2);
@@ -394,21 +497,46 @@ mod tests {
 
     #[test]
     fn listing1_shapes_are_captured() {
-        let t = parse_trace(LISTING1_NVSA, "nvsa", &registry(), ParsePrecision::default(), 1)
-            .unwrap();
+        let t = parse_trace(
+            LISTING1_NVSA,
+            "nvsa",
+            &registry(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap();
         let conv = &t.ops()[1];
         assert_eq!(conv.name(), "conv2_1");
-        assert_eq!(*conv.kind(), OpKind::Gemm { m: 16 * 80 * 80, n: 64, k: 576 });
+        assert_eq!(
+            *conv.kind(),
+            OpKind::Gemm {
+                m: 16 * 80 * 80,
+                n: 64,
+                k: 576
+            }
+        );
         let bind = &t.ops()[2];
         assert_eq!(*bind.kind(), OpKind::VsaConv { n_vec: 4, dim: 256 });
         let matchp = &t.ops()[5];
-        assert_eq!(*matchp.kind(), OpKind::Similarity { n_vec: 7, dim: 4 * 256 });
+        assert_eq!(
+            *matchp.kind(),
+            OpKind::Similarity {
+                n_vec: 7,
+                dim: 4 * 256
+            }
+        );
     }
 
     #[test]
     fn listing1_dependency_edges() {
-        let t = parse_trace(LISTING1_NVSA, "nvsa", &registry(), ParsePrecision::default(), 1)
-            .unwrap();
+        let t = parse_trace(
+            LISTING1_NVSA,
+            "nvsa",
+            &registry(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap();
         // mul_1 depends on match_prob_1 and clamp_1 (both defined in trace).
         let mul = t.ops().last().unwrap();
         assert_eq!(mul.inputs().len(), 2);
@@ -420,8 +548,14 @@ mod tests {
 
     #[test]
     fn inherited_domain_follows_symbolic_producers() {
-        let t = parse_trace(LISTING1_NVSA, "nvsa", &registry(), ParsePrecision::default(), 1)
-            .unwrap();
+        let t = parse_trace(
+            LISTING1_NVSA,
+            "nvsa",
+            &registry(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap();
         let sum = &t.ops()[6];
         assert_eq!(sum.domain(), Domain::Symbolic);
         let relu = &t.ops()[0];
@@ -430,8 +564,14 @@ mod tests {
 
     #[test]
     fn precision_assignment() {
-        let t = parse_trace(LISTING1_NVSA, "nvsa", &registry(), ParsePrecision::default(), 1)
-            .unwrap();
+        let t = parse_trace(
+            LISTING1_NVSA,
+            "nvsa",
+            &registry(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap();
         assert_eq!(t.ops()[0].dtype(), DType::Int8); // neural
         assert_eq!(t.ops()[2].dtype(), DType::Int4); // symbolic
     }
@@ -439,21 +579,32 @@ mod tests {
     #[test]
     fn unknown_module_is_reported_with_line() {
         let text = "%x[1,8,4,4] : call_module[conv_exotic](args = (%in[1,8,4,4]))";
-        let err =
-            parse_trace(text, "t", &ModuleRegistry::new(), ParsePrecision::default(), 1)
-                .unwrap_err();
+        let err = parse_trace(
+            text,
+            "t",
+            &ModuleRegistry::new(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap_err();
         assert!(matches!(err, TraceError::UnknownModule { line: 1, .. }));
     }
 
     #[test]
     fn malformed_lines_are_reported() {
         for bad in [
-            "%x[1] call_module[relu](args = (%y[1]))",          // missing ':'
-            "%x[1] : weird[relu](args = (%y[1]))",              // bad call kind
+            "%x[1] call_module[relu](args = (%y[1]))", // missing ':'
+            "%x[1] : weird[relu](args = (%y[1]))",     // bad call kind
             "%x[1] : call_function[nvsa.binding_circular](nope)", // bad args
         ] {
-            let err = parse_trace(bad, "t", &ModuleRegistry::new(), ParsePrecision::default(), 1)
-                .unwrap_err();
+            let err = parse_trace(
+                bad,
+                "t",
+                &ModuleRegistry::new(),
+                ParsePrecision::default(),
+                1,
+            )
+            .unwrap_err();
             assert!(matches!(err, TraceError::ParseLine { .. }), "{bad}");
         }
     }
@@ -461,24 +612,48 @@ mod tests {
     #[test]
     fn comments_and_headers_are_skipped() {
         let text = "graph():\n// comment\n# another\n%r[4] : call_module[relu](args = (%x[4]))\n";
-        let t = parse_trace(text, "t", &ModuleRegistry::new(), ParsePrecision::default(), 1)
-            .unwrap();
+        let t = parse_trace(
+            text,
+            "t",
+            &ModuleRegistry::new(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap();
         assert_eq!(t.ops().len(), 1);
     }
 
     #[test]
     fn undefined_references_are_external_inputs() {
         let text = "%r[4] : call_module[relu](args = (%external[4]))";
-        let t = parse_trace(text, "t", &ModuleRegistry::new(), ParsePrecision::default(), 1)
-            .unwrap();
+        let t = parse_trace(
+            text,
+            "t",
+            &ModuleRegistry::new(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap();
         assert!(t.ops()[0].inputs().is_empty());
     }
 
     #[test]
     fn scalar_literal_args_are_ignored() {
         let text = "%c[1] : call_function[torch.clamp](args = (%x[1], 0.0, 1.0))";
-        let t = parse_trace(text, "t", &ModuleRegistry::new(), ParsePrecision::default(), 1)
-            .unwrap();
-        assert_eq!(*t.ops()[0].kind(), OpKind::Elementwise { elems: 1, func: EltFunc::Clamp });
+        let t = parse_trace(
+            text,
+            "t",
+            &ModuleRegistry::new(),
+            ParsePrecision::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(
+            *t.ops()[0].kind(),
+            OpKind::Elementwise {
+                elems: 1,
+                func: EltFunc::Clamp
+            }
+        );
     }
 }

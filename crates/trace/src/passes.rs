@@ -54,11 +54,7 @@ pub fn eliminate_dead_ops(trace: &ExecutionTrace) -> Result<(ExecutionTrace, Pas
         }
         let last = trace.ops().len() - 1;
         for (pos, op) in trace.ops().iter().enumerate() {
-            if keep[pos]
-                && !consumed[pos]
-                && pos != last
-                && op.kind().is_simd_op()
-            {
+            if keep[pos] && !consumed[pos] && pos != last && op.kind().is_simd_op() {
                 keep[pos] = false;
                 changed = true;
             }
@@ -97,13 +93,17 @@ pub fn fuse_elementwise(trace: &ExecutionTrace) -> Result<(ExecutionTrace, PassS
     // Map from removed op -> surviving representative producing its value.
     let mut alias: HashMap<usize, usize> = HashMap::new();
     for (pos, op) in trace.ops().iter().enumerate() {
-        let OpKind::Elementwise { elems, .. } = *op.kind() else { continue };
+        let OpKind::Elementwise { elems, .. } = *op.kind() else {
+            continue;
+        };
         if op.inputs().len() != 1 {
             continue;
         }
         let producer = op.inputs()[0].index();
         let producer_rep = *alias.get(&producer).unwrap_or(&producer);
-        let OpKind::Elementwise { .. } = trace.ops()[producer_rep].kind() else { continue };
+        let OpKind::Elementwise { .. } = trace.ops()[producer_rep].kind() else {
+            continue;
+        };
         if consumers[producer] != 1 {
             continue;
         }
@@ -154,15 +154,19 @@ fn rebuild_with_alias(
             })
             .collect();
         let kind = match (*op.kind(), grown.get(&pos)) {
-            (OpKind::Elementwise { elems, func }, Some(&extra)) => {
-                OpKind::Elementwise { elems: elems + extra, func: fused_label(func) }
-            }
+            (OpKind::Elementwise { elems, func }, Some(&extra)) => OpKind::Elementwise {
+                elems: elems + extra,
+                func: fused_label(func),
+            },
             (k, _) => k,
         };
         let id = b.push(op.name(), kind, op.domain(), op.dtype(), &inputs);
         new_id.insert(pos, id);
     }
-    let stats = PassStats { ops_before: trace.ops().len(), ops_after: b.len() };
+    let stats = PassStats {
+        ops_before: trace.ops().len(),
+        ops_after: b.len(),
+    };
     Ok((b.finish(trace.loop_count())?, stats))
 }
 
@@ -189,14 +193,20 @@ mod tests {
         );
         let relu = b.push(
             "relu",
-            OpKind::Elementwise { elems: 512, func: EltFunc::Relu },
+            OpKind::Elementwise {
+                elems: 512,
+                func: EltFunc::Relu,
+            },
             Domain::Neural,
             DType::Int8,
             &[conv],
         );
         let bn = b.push(
             "bn",
-            OpKind::Elementwise { elems: 512, func: EltFunc::Affine },
+            OpKind::Elementwise {
+                elems: 512,
+                func: EltFunc::Affine,
+            },
             Domain::Neural,
             DType::Int8,
             &[relu],
@@ -218,21 +228,30 @@ mod tests {
         // Dead diagnostic tail (like Listing 1's mul).
         let sum = b.push(
             "sum",
-            OpKind::Reduce { elems: 4, func: crate::ReduceFunc::Sum },
+            OpKind::Reduce {
+                elems: 4,
+                func: crate::ReduceFunc::Sum,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[sim],
         );
         let clamp = b.push(
             "clamp",
-            OpKind::Elementwise { elems: 1, func: EltFunc::Clamp },
+            OpKind::Elementwise {
+                elems: 1,
+                func: EltFunc::Clamp,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[sum],
         );
         let _mul = b.push(
             "mul",
-            OpKind::Elementwise { elems: 1, func: EltFunc::Mul },
+            OpKind::Elementwise {
+                elems: 1,
+                func: EltFunc::Mul,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[sim, clamp],
@@ -261,7 +280,10 @@ mod tests {
         );
         let _dead = b.push(
             "debug_norm",
-            OpKind::Reduce { elems: 16, func: crate::ReduceFunc::Norm },
+            OpKind::Reduce {
+                elems: 16,
+                func: crate::ReduceFunc::Norm,
+            },
             Domain::Neural,
             DType::Int8,
             &[conv],
@@ -319,21 +341,30 @@ mod tests {
         let mut b = TraceBuilder::new("fanout");
         let a = b.push(
             "a",
-            OpKind::Elementwise { elems: 8, func: EltFunc::Relu },
+            OpKind::Elementwise {
+                elems: 8,
+                func: EltFunc::Relu,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let _u = b.push(
             "u",
-            OpKind::Elementwise { elems: 8, func: EltFunc::Mul },
+            OpKind::Elementwise {
+                elems: 8,
+                func: EltFunc::Mul,
+            },
             Domain::Neural,
             DType::Int8,
             &[a],
         );
         let _v = b.push(
             "v",
-            OpKind::Elementwise { elems: 8, func: EltFunc::Add },
+            OpKind::Elementwise {
+                elems: 8,
+                func: EltFunc::Add,
+            },
             Domain::Neural,
             DType::Int8,
             &[a],

@@ -25,7 +25,9 @@ impl ExecutionTrace {
         }
         for (pos, op) in ops.iter().enumerate() {
             if !op.kind.is_well_formed() {
-                return Err(TraceError::ZeroDimension { op: op.name.clone() });
+                return Err(TraceError::ZeroDimension {
+                    op: op.name.clone(),
+                });
             }
             for input in &op.inputs {
                 if input.0 >= pos {
@@ -36,7 +38,11 @@ impl ExecutionTrace {
                 }
             }
         }
-        Ok(ExecutionTrace { name, ops, loop_count })
+        Ok(ExecutionTrace {
+            name,
+            ops,
+            loop_count,
+        })
     }
 
     /// The workload name.
@@ -76,7 +82,11 @@ impl ExecutionTrace {
         if loop_count == 0 {
             return Err(TraceError::ZeroLoopCount);
         }
-        Ok(ExecutionTrace { name: self.name.clone(), ops: self.ops.clone(), loop_count })
+        Ok(ExecutionTrace {
+            name: self.name.clone(),
+            ops: self.ops.clone(),
+            loop_count,
+        })
     }
 
     /// Ids of ops that consume `id`'s output.
@@ -112,7 +122,11 @@ impl ExecutionTrace {
     /// SIMD-class ops, in order.
     #[must_use]
     pub fn simd_nodes(&self) -> Vec<OpId> {
-        self.ops.iter().filter(|op| op.kind.is_simd_op()).map(|op| op.id).collect()
+        self.ops
+            .iter()
+            .filter(|op| op.kind.is_simd_op())
+            .map(|op| op.id)
+            .collect()
     }
 
     /// Total MACs of one loop iteration, split `(neural, symbolic)`.
@@ -170,7 +184,11 @@ impl ExecutionTrace {
     /// for the compute units.
     #[must_use]
     pub fn widest_dtype(&self) -> DType {
-        self.ops.iter().map(|op| op.dtype).max().unwrap_or(DType::Fp32)
+        self.ops
+            .iter()
+            .map(|op| op.dtype)
+            .max()
+            .unwrap_or(DType::Fp32)
     }
 }
 
@@ -183,14 +201,21 @@ mod tests {
         let mut b = TraceBuilder::new("sample");
         let c1 = b.push(
             "conv1",
-            OpKind::Gemm { m: 100, n: 8, k: 27 },
+            OpKind::Gemm {
+                m: 100,
+                n: 8,
+                k: 27,
+            },
             Domain::Neural,
             DType::Int8,
             &[],
         );
         let r1 = b.push(
             "relu1",
-            OpKind::Elementwise { elems: 800, func: EltFunc::Relu },
+            OpKind::Elementwise {
+                elems: 800,
+                func: EltFunc::Relu,
+            },
             Domain::Neural,
             DType::Int8,
             &[c1],
@@ -204,7 +229,10 @@ mod tests {
         );
         let _ = b.push(
             "sim",
-            OpKind::Similarity { n_vec: 7, dim: 1024 },
+            OpKind::Similarity {
+                n_vec: 7,
+                dim: 1024,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[v1],

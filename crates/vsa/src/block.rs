@@ -41,9 +41,16 @@ impl BlockCode {
         }
         let expected = n_blocks * block_dim;
         if data.len() != expected {
-            return Err(VsaError::DataLengthMismatch { expected, actual: data.len() });
+            return Err(VsaError::DataLengthMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(BlockCode { n_blocks, block_dim, data })
+        Ok(BlockCode {
+            n_blocks,
+            block_dim,
+            data,
+        })
     }
 
     /// All-zero block code.
@@ -54,7 +61,11 @@ impl BlockCode {
     #[must_use]
     pub fn zeros(n_blocks: usize, block_dim: usize) -> Self {
         assert!(n_blocks > 0 && block_dim > 0, "geometry must be nonzero");
-        BlockCode { n_blocks, block_dim, data: vec![0.0; n_blocks * block_dim] }
+        BlockCode {
+            n_blocks,
+            block_dim,
+            data: vec![0.0; n_blocks * block_dim],
+        }
     }
 
     /// The binding identity: every block is the delta vector `[1, 0, …, 0]`
@@ -114,7 +125,10 @@ impl BlockCode {
     /// Returns [`VsaError::CodewordOutOfRange`] if `block >= n_blocks()`.
     pub fn block(&self, block: usize) -> Result<&[f32]> {
         if block >= self.n_blocks {
-            return Err(VsaError::CodewordOutOfRange { index: block, len: self.n_blocks });
+            return Err(VsaError::CodewordOutOfRange {
+                index: block,
+                len: self.n_blocks,
+            });
         }
         let start = block * self.block_dim;
         Ok(&self.data[start..start + self.block_dim])
@@ -164,7 +178,11 @@ impl BlockCode {
         let dot: f32 = self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum();
         let n1: f32 = self.data.iter().map(|x| x * x).sum::<f32>().sqrt();
         let n2: f32 = other.data.iter().map(|x| x * x).sum::<f32>().sqrt();
-        Ok(if n1 == 0.0 || n2 == 0.0 { 0.0 } else { dot / (n1 * n2) })
+        Ok(if n1 == 0.0 || n2 == 0.0 {
+            0.0
+        } else {
+            dot / (n1 * n2)
+        })
     }
 
     /// Scales every element in place so the whole code has unit L2 norm;
@@ -181,8 +199,11 @@ impl BlockCode {
     /// Converts to a `[n_blocks, block_dim]` tensor (copies).
     #[must_use]
     pub fn to_tensor(&self) -> Tensor {
-        Tensor::from_vec(Shape::matrix(self.n_blocks, self.block_dim), self.data.clone())
-            .expect("geometry invariant guarantees matching volume")
+        Tensor::from_vec(
+            Shape::matrix(self.n_blocks, self.block_dim),
+            self.data.clone(),
+        )
+        .expect("geometry invariant guarantees matching volume")
     }
 
     pub(crate) fn check_geometry(&self, other: &BlockCode) -> Result<()> {
@@ -202,11 +223,20 @@ mod tests {
 
     #[test]
     fn from_vec_validates() {
-        assert_eq!(BlockCode::from_vec(0, 4, vec![]), Err(VsaError::EmptyGeometry));
-        assert_eq!(BlockCode::from_vec(2, 0, vec![]), Err(VsaError::EmptyGeometry));
+        assert_eq!(
+            BlockCode::from_vec(0, 4, vec![]),
+            Err(VsaError::EmptyGeometry)
+        );
+        assert_eq!(
+            BlockCode::from_vec(2, 0, vec![]),
+            Err(VsaError::EmptyGeometry)
+        );
         assert_eq!(
             BlockCode::from_vec(2, 2, vec![0.0; 3]),
-            Err(VsaError::DataLengthMismatch { expected: 4, actual: 3 })
+            Err(VsaError::DataLengthMismatch {
+                expected: 4,
+                actual: 3
+            })
         );
         assert!(BlockCode::from_vec(2, 2, vec![0.0; 4]).is_ok());
     }
@@ -245,7 +275,10 @@ mod tests {
     fn similarity_rejects_geometry_mismatch() {
         let a = BlockCode::zeros(1, 4);
         let b = BlockCode::zeros(2, 2);
-        assert!(matches!(a.similarity(&b), Err(VsaError::GeometryMismatch { .. })));
+        assert!(matches!(
+            a.similarity(&b),
+            Err(VsaError::GeometryMismatch { .. })
+        ));
     }
 
     #[test]

@@ -58,13 +58,17 @@ impl Codebook {
         block_dim: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(count > 0 && n_blocks > 0 && block_dim > 0, "sizes must be nonzero");
+        assert!(
+            count > 0 && n_blocks > 0 && block_dim > 0,
+            "sizes must be nonzero"
+        );
         let len = n_blocks * block_dim;
         let amp = 1.0 / (len as f32).sqrt();
         let codewords = (0..count)
             .map(|_| {
-                let data =
-                    (0..len).map(|_| if rng.gen::<bool>() { amp } else { -amp }).collect();
+                let data = (0..len)
+                    .map(|_| if rng.gen::<bool>() { amp } else { -amp })
+                    .collect();
                 BlockCode::from_vec(n_blocks, block_dim, data)
                     .expect("generated data matches geometry")
             })
@@ -86,7 +90,10 @@ impl Codebook {
         block_dim: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(count > 0 && n_blocks > 0 && block_dim > 0, "sizes must be nonzero");
+        assert!(
+            count > 0 && n_blocks > 0 && block_dim > 0,
+            "sizes must be nonzero"
+        );
         let codewords = (0..count)
             .map(|_| {
                 let mut data = Vec::with_capacity(n_blocks * block_dim);
@@ -153,7 +160,10 @@ impl Codebook {
     ///
     /// Returns [`VsaError::GeometryMismatch`] on geometry disagreement.
     pub fn similarities(&self, query: &BlockCode) -> Result<Vec<f32>> {
-        self.codewords.iter().map(|cw| query.similarity(cw)).collect()
+        self.codewords
+            .iter()
+            .map(|cw| query.similarity(cw))
+            .collect()
     }
 
     /// Softmax match probabilities of `query` against the codebook
@@ -198,9 +208,17 @@ fn random_unitary_block<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vec<f32> {
     // Random phases with conjugate symmetry so the time signal is real:
     // theta[d-k] = -theta[k]; theta[0] (and theta[d/2] for even d) in {0, π}.
     let mut theta = vec![0.0f64; dim];
-    theta[0] = if rng.gen::<bool>() { 0.0 } else { std::f64::consts::PI };
-    if dim % 2 == 0 {
-        theta[dim / 2] = if rng.gen::<bool>() { 0.0 } else { std::f64::consts::PI };
+    theta[0] = if rng.gen::<bool>() {
+        0.0
+    } else {
+        std::f64::consts::PI
+    };
+    if dim.is_multiple_of(2) {
+        theta[dim / 2] = if rng.gen::<bool>() {
+            0.0
+        } else {
+            std::f64::consts::PI
+        };
     }
     for k in 1..dim.div_ceil(2) {
         let t: f64 = rng.gen_range(0.0..TAU);
@@ -231,7 +249,10 @@ mod tests {
 
     #[test]
     fn from_codewords_validates() {
-        assert_eq!(Codebook::from_codewords(vec![]).unwrap_err(), VsaError::EmptyCodebook);
+        assert_eq!(
+            Codebook::from_codewords(vec![]).unwrap_err(),
+            VsaError::EmptyCodebook
+        );
         let mixed = vec![BlockCode::zeros(1, 4), BlockCode::zeros(2, 2)];
         assert!(matches!(
             Codebook::from_codewords(mixed),
@@ -300,7 +321,10 @@ mod tests {
         let k = book.codeword(1);
         let recovered = x.bind(k).unwrap().unbind(k).unwrap();
         let s = recovered.similarity(x).unwrap();
-        assert!(s > 0.5, "bipolar unbind should be noisy but similar, sim = {s}");
+        assert!(
+            s > 0.5,
+            "bipolar unbind should be noisy but similar, sim = {s}"
+        );
         assert_eq!(book.cleanup(&recovered).unwrap(), 0);
     }
 
@@ -328,7 +352,11 @@ mod tests {
         let book = Codebook::random_unitary(7, 4, 128, &mut rng());
         let probs = book.match_prob(book.codeword(3), 0.05).unwrap();
         assert_eq!(probs.len(), 7);
-        let best = probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
         assert_eq!(best.0, 3);
         assert!(*best.1 > 0.9);
     }

@@ -41,14 +41,23 @@ impl fmt::Display for VsaError {
                 write!(f, "block-code geometries {lhs} and {rhs} do not match")
             }
             VsaError::EmptyGeometry => {
-                write!(f, "block code requires at least one block and one element per block")
+                write!(
+                    f,
+                    "block code requires at least one block and one element per block"
+                )
             }
             VsaError::DataLengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match geometry volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match geometry volume {expected}"
+                )
             }
             VsaError::EmptyCodebook => write!(f, "codebook contains no codewords"),
             VsaError::CodewordOutOfRange { index, len } => {
-                write!(f, "codeword index {index} out of range for codebook of {len}")
+                write!(
+                    f,
+                    "codeword index {index} out of range for codebook of {len}"
+                )
             }
             VsaError::FactorGeometryMismatch(msg) => {
                 write!(f, "factor codebooks are inconsistent: {msg}")
@@ -72,9 +81,15 @@ mod tests {
     #[test]
     fn display_messages_nonempty() {
         let errs = [
-            VsaError::GeometryMismatch { lhs: "4×256".into(), rhs: "4×128".into() },
+            VsaError::GeometryMismatch {
+                lhs: "4×256".into(),
+                rhs: "4×128".into(),
+            },
             VsaError::EmptyGeometry,
-            VsaError::DataLengthMismatch { expected: 1024, actual: 512 },
+            VsaError::DataLengthMismatch {
+                expected: 1024,
+                actual: 512,
+            },
             VsaError::EmptyCodebook,
             VsaError::CodewordOutOfRange { index: 9, len: 4 },
             VsaError::FactorGeometryMismatch("x".into()),

@@ -27,15 +27,24 @@ impl Complex {
     }
 
     fn add(self, other: Complex) -> Complex {
-        Complex { re: self.re + other.re, im: self.im + other.im }
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 
     fn sub(self, other: Complex) -> Complex {
-        Complex { re: self.re - other.re, im: self.im - other.im }
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 
     fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -68,7 +77,10 @@ fn fft_in_place(data: &mut [Complex], inverse: bool) {
     let mut len = 2usize;
     while len <= n {
         let ang = sign * std::f64::consts::TAU / len as f64;
-        let wlen = Complex { re: ang.cos(), im: ang.sin() };
+        let wlen = Complex {
+            re: ang.cos(),
+            im: ang.sin(),
+        };
         for chunk in data.chunks_mut(len) {
             let mut w = Complex { re: 1.0, im: 0.0 };
             let half = len / 2;
@@ -104,10 +116,20 @@ pub fn circular_convolve_fast(a: &[f32], b: &[f32]) -> Vec<f32> {
     if !n.is_power_of_two() || n < 8 {
         return ops::circular_convolve(a, b);
     }
-    let mut fa: Vec<Complex> =
-        a.iter().map(|&x| Complex { re: x as f64, im: 0.0 }).collect();
-    let mut fb: Vec<Complex> =
-        b.iter().map(|&x| Complex { re: x as f64, im: 0.0 }).collect();
+    let mut fa: Vec<Complex> = a
+        .iter()
+        .map(|&x| Complex {
+            re: x as f64,
+            im: 0.0,
+        })
+        .collect();
+    let mut fb: Vec<Complex> = b
+        .iter()
+        .map(|&x| Complex {
+            re: x as f64,
+            im: 0.0,
+        })
+        .collect();
     fft_in_place(&mut fa, false);
     fft_in_place(&mut fb, false);
     for (x, y) in fa.iter_mut().zip(&fb) {
@@ -130,10 +152,20 @@ pub fn circular_correlate_fast(a: &[f32], b: &[f32]) -> Vec<f32> {
     if !n.is_power_of_two() || n < 8 {
         return ops::circular_correlate(a, b);
     }
-    let mut fa: Vec<Complex> =
-        a.iter().map(|&x| Complex { re: x as f64, im: 0.0 }).collect();
-    let mut fb: Vec<Complex> =
-        b.iter().map(|&x| Complex { re: x as f64, im: 0.0 }).collect();
+    let mut fa: Vec<Complex> = a
+        .iter()
+        .map(|&x| Complex {
+            re: x as f64,
+            im: 0.0,
+        })
+        .collect();
+    let mut fb: Vec<Complex> = b
+        .iter()
+        .map(|&x| Complex {
+            re: x as f64,
+            im: 0.0,
+        })
+        .collect();
     fft_in_place(&mut fa, false);
     fft_in_place(&mut fb, false);
     for (x, y) in fa.iter_mut().zip(&fb) {
@@ -226,10 +258,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = randvec(12, &mut rng);
         let b = randvec(12, &mut rng);
-        assert_eq!(circular_convolve_fast(&a, &b), ops::circular_convolve(&a, &b));
+        assert_eq!(
+            circular_convolve_fast(&a, &b),
+            ops::circular_convolve(&a, &b)
+        );
         let c = randvec(3, &mut rng);
         let d = randvec(3, &mut rng);
-        assert_eq!(circular_convolve_fast(&c, &d), ops::circular_convolve(&c, &d));
+        assert_eq!(
+            circular_convolve_fast(&c, &d),
+            ops::circular_convolve(&c, &d)
+        );
     }
 
     #[test]

@@ -28,10 +28,10 @@ pub fn circular_convolve_into(a: &[f32], b: &[f32], out: &mut [f32]) {
     assert_eq!(out.len(), n, "output length must match");
     for (idx, slot) in out.iter_mut().enumerate() {
         let mut acc = 0.0f32;
-        for k in 0..n {
+        for (k, &ak) in a.iter().enumerate() {
             // (idx - k) mod n without branching on negatives.
-            let j = (idx + n - (k % n)) % n;
-            acc += a[k] * b[j];
+            let j = (idx + n - k) % n;
+            acc += ak * b[j];
         }
         *slot = acc;
     }
@@ -168,7 +168,11 @@ pub fn permute(code: &BlockCode, shift: usize) -> BlockCode {
 ///
 /// Returns [`VsaError::EmptyCodebook`] for an empty dictionary and
 /// [`VsaError::GeometryMismatch`] on geometry disagreement.
-pub fn match_prob(query: &BlockCode, dictionary: &[BlockCode], temperature: f32) -> Result<Vec<f32>> {
+pub fn match_prob(
+    query: &BlockCode,
+    dictionary: &[BlockCode],
+    temperature: f32,
+) -> Result<Vec<f32>> {
     if dictionary.is_empty() {
         return Err(VsaError::EmptyCodebook);
     }
@@ -262,7 +266,10 @@ mod tests {
     fn bind_requires_matching_geometry() {
         let a = BlockCode::zeros(2, 4);
         let b = BlockCode::zeros(4, 2);
-        assert!(matches!(bind(&a, &b), Err(VsaError::GeometryMismatch { .. })));
+        assert!(matches!(
+            bind(&a, &b),
+            Err(VsaError::GeometryMismatch { .. })
+        ));
     }
 
     #[test]
@@ -335,7 +342,12 @@ mod tests {
         ];
         let query = dict[1].clone();
         let probs = match_prob(&query, &dict, 0.1).unwrap();
-        let best = probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(best, 1);
         assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
     }
@@ -343,6 +355,9 @@ mod tests {
     #[test]
     fn match_prob_empty_dictionary_is_error() {
         let q = BlockCode::zeros(1, 4);
-        assert_eq!(match_prob(&q, &[], 1.0).unwrap_err(), VsaError::EmptyCodebook);
+        assert_eq!(
+            match_prob(&q, &[], 1.0).unwrap_err(),
+            VsaError::EmptyCodebook
+        );
     }
 }

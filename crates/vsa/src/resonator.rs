@@ -33,7 +33,10 @@ pub struct ResonatorConfig {
 
 impl Default for ResonatorConfig {
     fn default() -> Self {
-        ResonatorConfig { max_iterations: 64, temperature: 0.08 }
+        ResonatorConfig {
+            max_iterations: 64,
+            temperature: 0.08,
+        }
     }
 }
 
@@ -111,7 +114,10 @@ impl Resonator {
         let mut acc: Option<BlockCode> = None;
         for (book, &idx) in self.factors.iter().zip(indices) {
             if idx >= book.len() {
-                return Err(VsaError::CodewordOutOfRange { index: idx, len: book.len() });
+                return Err(VsaError::CodewordOutOfRange {
+                    index: idx,
+                    len: book.len(),
+                });
             }
             let cw = book.codeword(idx);
             acc = Some(match acc {
@@ -178,10 +184,18 @@ impl Resonator {
                 estimates[f] = sup;
             }
             if !changed && iterations > 1 {
-                return Ok(Factorization { indices, iterations, converged: true });
+                return Ok(Factorization {
+                    indices,
+                    iterations,
+                    converged: true,
+                });
             }
         }
-        Ok(Factorization { indices, iterations, converged: false })
+        Ok(Factorization {
+            indices,
+            iterations,
+            converged: false,
+        })
     }
 }
 
@@ -216,13 +230,19 @@ mod tests {
 
     fn unitary_books(counts: &[usize], seed: u64) -> Vec<Codebook> {
         let mut rng = StdRng::seed_from_u64(seed);
-        counts.iter().map(|&c| Codebook::random_unitary(c, 4, 128, &mut rng)).collect()
+        counts
+            .iter()
+            .map(|&c| Codebook::random_unitary(c, 4, 128, &mut rng))
+            .collect()
     }
 
     #[test]
     fn new_requires_two_factors() {
         let books = unitary_books(&[4], 1);
-        assert!(matches!(Resonator::new(books), Err(VsaError::FactorGeometryMismatch(_))));
+        assert!(matches!(
+            Resonator::new(books),
+            Err(VsaError::FactorGeometryMismatch(_))
+        ));
     }
 
     #[test]
@@ -287,7 +307,10 @@ mod tests {
         let books = unitary_books(&[8, 8], 8);
         let target = books[0].codeword(0).bind(books[1].codeword(0)).unwrap();
         let res = Resonator::new(books).unwrap();
-        let cfg = ResonatorConfig { max_iterations: 1, temperature: 0.08 };
+        let cfg = ResonatorConfig {
+            max_iterations: 1,
+            temperature: 0.08,
+        };
         let out = res.factorize(&target, cfg).unwrap();
         assert_eq!(out.iterations, 1);
         assert!(!out.converged);

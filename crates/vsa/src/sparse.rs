@@ -45,7 +45,10 @@ impl SparseBlockCode {
         }
         for &i in &indices {
             if i >= block_dim {
-                return Err(VsaError::CodewordOutOfRange { index: i, len: block_dim });
+                return Err(VsaError::CodewordOutOfRange {
+                    index: i,
+                    len: block_dim,
+                });
             }
         }
         Ok(SparseBlockCode { indices, block_dim })
@@ -73,7 +76,10 @@ impl SparseBlockCode {
     #[must_use]
     pub fn identity(n_blocks: usize, block_dim: usize) -> Self {
         assert!(n_blocks > 0 && block_dim > 0, "geometry must be nonzero");
-        SparseBlockCode { indices: vec![0; n_blocks], block_dim }
+        SparseBlockCode {
+            indices: vec![0; n_blocks],
+            block_dim,
+        }
     }
 
     /// Active index per block.
@@ -141,8 +147,12 @@ impl SparseBlockCode {
     /// Returns [`VsaError::GeometryMismatch`] if geometries differ.
     pub fn similarity(&self, other: &SparseBlockCode) -> Result<f32> {
         self.check_geometry(other)?;
-        let matches =
-            self.indices.iter().zip(&other.indices).filter(|(a, b)| a == b).count();
+        let matches = self
+            .indices
+            .iter()
+            .zip(&other.indices)
+            .filter(|(a, b)| a == b)
+            .count();
         Ok(matches as f32 / self.indices.len() as f32)
     }
 

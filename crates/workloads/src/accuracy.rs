@@ -24,31 +24,51 @@ impl Precision {
     /// FP32 everywhere.
     #[must_use]
     pub fn fp32() -> Self {
-        Precision { label: "FP32", neural: DType::Fp32, symbolic: DType::Fp32 }
+        Precision {
+            label: "FP32",
+            neural: DType::Fp32,
+            symbolic: DType::Fp32,
+        }
     }
 
     /// FP16 everywhere.
     #[must_use]
     pub fn fp16() -> Self {
-        Precision { label: "FP16", neural: DType::Fp16, symbolic: DType::Fp16 }
+        Precision {
+            label: "FP16",
+            neural: DType::Fp16,
+            symbolic: DType::Fp16,
+        }
     }
 
     /// INT8 everywhere.
     #[must_use]
     pub fn int8() -> Self {
-        Precision { label: "INT8", neural: DType::Int8, symbolic: DType::Int8 }
+        Precision {
+            label: "INT8",
+            neural: DType::Int8,
+            symbolic: DType::Int8,
+        }
     }
 
     /// The paper's mixed precision: INT8 neural, INT4 symbolic.
     #[must_use]
     pub fn mixed() -> Self {
-        Precision { label: "MP", neural: DType::Int8, symbolic: DType::Int4 }
+        Precision {
+            label: "MP",
+            neural: DType::Int8,
+            symbolic: DType::Int4,
+        }
     }
 
     /// INT4 everywhere.
     #[must_use]
     pub fn int4() -> Self {
-        Precision { label: "INT4", neural: DType::Int4, symbolic: DType::Int4 }
+        Precision {
+            label: "INT4",
+            neural: DType::Int4,
+            symbolic: DType::Int4,
+        }
     }
 
     /// The Tab. IV column order.

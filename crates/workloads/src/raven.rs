@@ -74,7 +74,12 @@ pub struct TaskParams {
 
 impl Default for TaskParams {
     fn default() -> Self {
-        TaskParams { attributes: 3, values: 8, candidates: 8, style: CandidateStyle::Raven }
+        TaskParams {
+            attributes: 3,
+            values: 8,
+            candidates: 8,
+            style: CandidateStyle::Raven,
+        }
     }
 }
 
@@ -93,7 +98,10 @@ pub fn generate<R: Rng + ?Sized>(params: &TaskParams, rng: &mut R) -> RpmTask {
         CandidateStyle::Raven => v.pow(params.attributes as u32),
         CandidateStyle::IRaven => params.attributes * (v - 1) + 1,
     };
-    assert!(params.candidates <= pool, "candidate count exceeds distractor pool {pool}");
+    assert!(
+        params.candidates <= pool,
+        "candidate count exceeds distractor pool {pool}"
+    );
 
     // Sample a rule per attribute and fill the 3×3 grid.
     let mut rules = Vec::with_capacity(params.attributes);
@@ -106,7 +114,9 @@ pub fn generate<R: Rng + ?Sized>(params: &TaskParams, rng: &mut R) -> RpmTask {
     for a in 0..params.attributes {
         let rule = match rng.gen_range(0..3) {
             0 => Rule::Constant,
-            1 => Rule::Progression { step: rng.gen_range(1..=2) },
+            1 => Rule::Progression {
+                step: rng.gen_range(1..=2),
+            },
             _ => Rule::DistributeThree,
         };
         rules.push(rule);
@@ -246,7 +256,7 @@ mod tests {
                         Rule::DistributeThree => {
                             let mut vals = [row[0][a], row[1][a], row[2][a]];
                             vals.sort_unstable();
-                            assert_eq!(vals[0] != vals[1] && vals[1] != vals[2], true);
+                            assert!(vals[0] != vals[1] && vals[1] != vals[2]);
                         }
                     }
                 }
@@ -293,7 +303,10 @@ mod tests {
 
     #[test]
     fn iraven_distractors_differ_in_one_attribute() {
-        let params = TaskParams { style: CandidateStyle::IRaven, ..TaskParams::default() };
+        let params = TaskParams {
+            style: CandidateStyle::IRaven,
+            ..TaskParams::default()
+        };
         let mut r = rng();
         for _ in 0..20 {
             let t = generate(&params, &mut r);
@@ -306,7 +319,10 @@ mod tests {
                     .zip(t.answer_panel())
                     .filter(|(x, y)| x != y)
                     .count();
-                assert_eq!(diffs, 1, "I-RAVEN distractor must differ in exactly 1 attribute");
+                assert_eq!(
+                    diffs, 1,
+                    "I-RAVEN distractor must differ in exactly 1 attribute"
+                );
             }
         }
     }

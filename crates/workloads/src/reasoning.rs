@@ -70,7 +70,10 @@ impl Default for PipelineConfig {
             symbolic_dtype: DType::Fp32,
             neural_quant_noise: 0.45,
             ambiguity_std: 0.0,
-            resonator: ResonatorConfig { max_iterations: 12, temperature: 0.08 },
+            resonator: ResonatorConfig {
+                max_iterations: 12,
+                temperature: 0.08,
+            },
         }
     }
 }
@@ -115,18 +118,25 @@ impl VsaReasoner {
         config: PipelineConfig,
         rng: &mut R,
     ) -> Self {
-        assert!(attributes >= 2, "resonator factorization needs >= 2 attributes");
+        assert!(
+            attributes >= 2,
+            "resonator factorization needs >= 2 attributes"
+        );
         assert!(values > 0, "need at least one value");
         let codebooks: Vec<Codebook> = (0..attributes)
             .map(|_| {
-                let book =
-                    Codebook::random_unitary(values, config.n_blocks, config.block_dim, rng);
+                let book = Codebook::random_unitary(values, config.n_blocks, config.block_dim, rng);
                 quantize_codebook(&book, config.symbolic_dtype)
             })
             .collect();
         let resonator =
             Resonator::new(codebooks.clone()).expect("codebooks share geometry by construction");
-        VsaReasoner { codebooks, resonator, values, config }
+        VsaReasoner {
+            codebooks,
+            resonator,
+            values,
+            config,
+        }
     }
 
     /// The pipeline configuration.
@@ -143,7 +153,11 @@ impl VsaReasoner {
     /// Panics if `attrs` length differs from the attribute count or any
     /// value index is out of range.
     pub fn encode_panel<R: Rng + ?Sized>(&self, attrs: &[usize], rng: &mut R) -> BlockCode {
-        assert_eq!(attrs.len(), self.codebooks.len(), "attribute count mismatch");
+        assert_eq!(
+            attrs.len(),
+            self.codebooks.len(),
+            "attribute count mismatch"
+        );
         let mut acc: Option<BlockCode> = None;
         for (book, &val) in self.codebooks.iter().zip(attrs) {
             let cw = self.perceived_codeword(book, val, rng);
@@ -290,8 +304,7 @@ impl VsaReasoner {
             Some(qmax) => self.config.neural_quant_noise / qmax as f32,
             None => 0.0,
         };
-        let eps = (gaussianish(rng) * self.config.ambiguity_std
-            + gaussianish(rng) * margin_noise)
+        let eps = (gaussianish(rng) * self.config.ambiguity_std + gaussianish(rng) * margin_noise)
             .abs()
             .min(0.95);
         if eps == 0.0 {
@@ -350,9 +363,12 @@ impl VsaReasoner {
                 Some(prev) => prev.bind(cw).expect("geometry fixed"),
             });
         }
-        let residual =
-            target.unbind(&others.expect("at least two factors")).expect("geometry fixed");
-        let best = self.codebooks[a].cleanup(&residual).expect("geometry fixed");
+        let residual = target
+            .unbind(&others.expect("at least two factors"))
+            .expect("geometry fixed");
+        let best = self.codebooks[a]
+            .cleanup(&residual)
+            .expect("geometry fixed");
         let changed = best != indices[a];
         indices[a] = best;
         changed
@@ -392,15 +408,19 @@ impl VsaReasoner {
     /// Panics if the task's attribute/value counts disagree with the
     /// reasoner's.
     pub fn solve_explained<R: Rng + ?Sized>(&self, task: &RpmTask, rng: &mut R) -> Solution {
-        assert_eq!(task.attributes, self.codebooks.len(), "attribute count mismatch");
+        assert_eq!(
+            task.attributes,
+            self.codebooks.len(),
+            "attribute count mismatch"
+        );
         assert_eq!(task.values, self.values, "value count mismatch");
 
         // ① Perceive and ② factorize the eight context panels.
-        let mut decoded = [[vec![], vec![], vec![]], [vec![], vec![], vec![]], [
-            vec![],
-            vec![],
-            vec![],
-        ]];
+        let mut decoded = [
+            [vec![], vec![], vec![]],
+            [vec![], vec![], vec![]],
+            [vec![], vec![], vec![]],
+        ];
         for (r, row) in task.grid.iter().enumerate() {
             for (c, cell) in row.iter().enumerate() {
                 if r == 2 && c == 2 {
@@ -412,8 +432,9 @@ impl VsaReasoner {
         }
 
         // ③ Infer the rule per attribute and predict the hidden panel.
-        let predicted: Vec<usize> =
-            (0..task.attributes).map(|a| self.predict_attribute(&decoded, a)).collect();
+        let predicted: Vec<usize> = (0..task.attributes)
+            .map(|a| self.predict_attribute(&decoded, a))
+            .collect();
 
         // ④ Score candidates against the predicted panel's encoding.
         let target = self.encode_exact(&predicted);
@@ -429,7 +450,12 @@ impl VsaReasoner {
                 best = i;
             }
         }
-        Solution { choice: best, predicted, decoded_context: decoded, candidate_sims: sims }
+        Solution {
+            choice: best,
+            predicted,
+            decoded_context: decoded,
+            candidate_sims: sims,
+        }
     }
 
     /// Rule inference for one attribute from the decoded context.
@@ -539,13 +565,24 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_config() -> PipelineConfig {
-        PipelineConfig { block_dim: 32, ..PipelineConfig::default() }
+        PipelineConfig {
+            block_dim: 32,
+            ..PipelineConfig::default()
+        }
     }
 
     #[test]
     fn encode_decode_round_trip_clean() {
         let mut rng = StdRng::seed_from_u64(1);
-        let r = VsaReasoner::new(3, 6, PipelineConfig { noise_std: 0.0, ..small_config() }, &mut rng);
+        let r = VsaReasoner::new(
+            3,
+            6,
+            PipelineConfig {
+                noise_std: 0.0,
+                ..small_config()
+            },
+            &mut rng,
+        );
         for attrs in [[0usize, 0, 0], [5, 3, 1], [2, 2, 4]] {
             let enc = r.encode_panel(&attrs, &mut rng);
             assert_eq!(r.decode_panel(&enc), attrs.to_vec());
@@ -558,7 +595,10 @@ mod tests {
         let r = VsaReasoner::new(
             3,
             6,
-            PipelineConfig { noise_std: 0.02, ..small_config() },
+            PipelineConfig {
+                noise_std: 0.02,
+                ..small_config()
+            },
             &mut rng,
         );
         let mut correct = 0;
@@ -575,8 +615,15 @@ mod tests {
     #[test]
     fn solve_is_near_perfect_at_fp32_low_noise() {
         let mut rng = StdRng::seed_from_u64(3);
-        let reasoner =
-            VsaReasoner::new(3, 8, PipelineConfig { noise_std: 0.01, ..small_config() }, &mut rng);
+        let reasoner = VsaReasoner::new(
+            3,
+            8,
+            PipelineConfig {
+                noise_std: 0.01,
+                ..small_config()
+            },
+            &mut rng,
+        );
         let mut correct = 0;
         for _ in 0..15 {
             let task = generate(&TaskParams::default(), &mut rng);
@@ -590,16 +637,23 @@ mod tests {
     #[test]
     fn int4_symbolic_is_worse_or_equal_to_fp32() {
         let mut rng = StdRng::seed_from_u64(4);
-        let noisy = PipelineConfig { noise_std: 0.06, ..small_config() };
+        let noisy = PipelineConfig {
+            noise_std: 0.06,
+            ..small_config()
+        };
         let fp32 = VsaReasoner::new(3, 8, noisy, &mut rng);
         let mut rng2 = StdRng::seed_from_u64(4);
         let int4 = VsaReasoner::new(
             3,
             8,
-            PipelineConfig { symbolic_dtype: DType::Int4, neural_dtype: DType::Int4, ..noisy },
+            PipelineConfig {
+                symbolic_dtype: DType::Int4,
+                neural_dtype: DType::Int4,
+                ..noisy
+            },
             &mut rng2,
         );
-        let mut eval = |r: &VsaReasoner, seed: u64| {
+        let eval = |r: &VsaReasoner, seed: u64| {
             let mut trng = StdRng::seed_from_u64(seed);
             let mut c = 0;
             for _ in 0..12 {
@@ -612,13 +666,24 @@ mod tests {
         };
         let acc_fp32 = eval(&fp32, 77);
         let acc_int4 = eval(&int4, 77);
-        assert!(acc_int4 <= acc_fp32 + 1, "INT4 {acc_int4} vs FP32 {acc_fp32}");
+        assert!(
+            acc_int4 <= acc_fp32 + 1,
+            "INT4 {acc_int4} vs FP32 {acc_fp32}"
+        );
     }
 
     #[test]
     fn rule_prediction_constant_progression_distribute() {
         let mut rng = StdRng::seed_from_u64(5);
-        let r = VsaReasoner::new(3, 8, PipelineConfig { noise_std: 0.0, ..small_config() }, &mut rng);
+        let r = VsaReasoner::new(
+            3,
+            8,
+            PipelineConfig {
+                noise_std: 0.0,
+                ..small_config()
+            },
+            &mut rng,
+        );
         // Hand-built decoded grid: attr0 constant 5, attr1 progression +1
         // from 2, attr2 distribute-three {1,4,6}.
         let mk = |a0: usize, a1: usize, a2: usize| vec![a0, a1, a2];

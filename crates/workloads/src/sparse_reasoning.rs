@@ -70,18 +70,28 @@ impl SparseReasoner {
         let codebooks = (0..attributes)
             .map(|_| SparseCodebook::random(values, config.n_blocks, config.block_dim, rng))
             .collect();
-        SparseReasoner { codebooks, values, config }
+        SparseReasoner {
+            codebooks,
+            values,
+            config,
+        }
     }
 
     /// Perceives a panel: sparse product → dense expansion → noise +
     /// ambiguity + quantization (the CNN-output side of the pipeline).
     pub fn perceive<R: Rng + ?Sized>(&self, attrs: &[usize], rng: &mut R) -> BlockCode {
-        assert_eq!(attrs.len(), self.codebooks.len(), "attribute count mismatch");
+        assert_eq!(
+            attrs.len(),
+            self.codebooks.len(),
+            "attribute count mismatch"
+        );
         let product = self.exact_product(attrs);
         let mut dense = product.to_dense();
         // Perception ambiguity: blend in a competitor product.
         if self.config.ambiguity_std > 0.0 {
-            let eps = (gaussianish(rng) * self.config.ambiguity_std).abs().min(0.95);
+            let eps = (gaussianish(rng) * self.config.ambiguity_std)
+                .abs()
+                .min(0.95);
             if eps > 0.0 {
                 let mut alt = attrs.to_vec();
                 let a = rng.gen_range(0..alt.len());
@@ -144,7 +154,11 @@ impl SparseReasoner {
     /// Solves a task; `None` decodes fall back to a direct similarity
     /// vote so the pipeline stays total.
     pub fn solve<R: Rng + ?Sized>(&self, task: &RpmTask, rng: &mut R) -> usize {
-        assert_eq!(task.attributes, self.codebooks.len(), "attribute count mismatch");
+        assert_eq!(
+            task.attributes,
+            self.codebooks.len(),
+            "attribute count mismatch"
+        );
         assert_eq!(task.values, self.values, "value count mismatch");
         let mut decoded: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); 3]; 3];
         for (r, row) in task.grid.iter().enumerate() {
@@ -157,12 +171,21 @@ impl SparseReasoner {
             }
         }
         let grid: [[Vec<usize>; 3]; 3] = [
-            [decoded[0][0].clone(), decoded[0][1].clone(), decoded[0][2].clone()],
-            [decoded[1][0].clone(), decoded[1][1].clone(), decoded[1][2].clone()],
+            [
+                decoded[0][0].clone(),
+                decoded[0][1].clone(),
+                decoded[0][2].clone(),
+            ],
+            [
+                decoded[1][0].clone(),
+                decoded[1][1].clone(),
+                decoded[1][2].clone(),
+            ],
             [decoded[2][0].clone(), decoded[2][1].clone(), Vec::new()],
         ];
-        let predicted: Vec<usize> =
-            (0..task.attributes).map(|a| predict_attribute(&grid, a, self.values)).collect();
+        let predicted: Vec<usize> = (0..task.attributes)
+            .map(|a| predict_attribute(&grid, a, self.values))
+            .collect();
 
         let target = self.exact_product(&predicted);
         let mut best = 0usize;
@@ -264,7 +287,10 @@ mod tests {
     #[test]
     fn clean_perceive_decode_round_trip() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = SparsePipelineConfig { noise_std: 0.0, ..SparsePipelineConfig::default() };
+        let cfg = SparsePipelineConfig {
+            noise_std: 0.0,
+            ..SparsePipelineConfig::default()
+        };
         let r = SparseReasoner::new(3, 8, cfg, &mut rng);
         for attrs in [[0usize, 0, 0], [7, 3, 1], [2, 5, 4]] {
             let dense = r.perceive(&attrs, &mut rng);
@@ -278,7 +304,10 @@ mod tests {
         // pipeline's comfort zone (0.1 here ≈ 10× the dense suites'
         // calibrated level).
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = SparsePipelineConfig { noise_std: 0.1, ..SparsePipelineConfig::default() };
+        let cfg = SparsePipelineConfig {
+            noise_std: 0.1,
+            ..SparsePipelineConfig::default()
+        };
         let r = SparseReasoner::new(3, 8, cfg, &mut rng);
         let mut ok = 0;
         for i in 0..30 {

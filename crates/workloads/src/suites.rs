@@ -73,11 +73,23 @@ impl Suite {
     /// bias-free confusable candidates rather than attribute count.
     #[must_use]
     pub fn pipeline_config(&self) -> PipelineConfig {
-        let base = PipelineConfig { noise_std: 0.01, ..PipelineConfig::default() };
+        let base = PipelineConfig {
+            noise_std: 0.01,
+            ..PipelineConfig::default()
+        };
         match self {
-            Suite::RavenLike => PipelineConfig { ambiguity_std: 0.11, ..base },
-            Suite::IRavenLike => PipelineConfig { ambiguity_std: 0.11, ..base },
-            Suite::PgmLike => PipelineConfig { ambiguity_std: 0.165, ..base },
+            Suite::RavenLike => PipelineConfig {
+                ambiguity_std: 0.11,
+                ..base
+            },
+            Suite::IRavenLike => PipelineConfig {
+                ambiguity_std: 0.11,
+                ..base
+            },
+            Suite::PgmLike => PipelineConfig {
+                ambiguity_std: 0.165,
+                ..base
+            },
         }
     }
 }
@@ -89,7 +101,10 @@ mod tests {
     #[test]
     fn suite_parameters_differ_as_documented() {
         assert_eq!(Suite::RavenLike.task_params().style, CandidateStyle::Raven);
-        assert_eq!(Suite::IRavenLike.task_params().style, CandidateStyle::IRaven);
+        assert_eq!(
+            Suite::IRavenLike.task_params().style,
+            CandidateStyle::IRaven
+        );
         assert_eq!(Suite::PgmLike.task_params().attributes, 3);
         assert!(
             Suite::PgmLike.pipeline_config().ambiguity_std

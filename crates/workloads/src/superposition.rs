@@ -30,7 +30,12 @@ pub struct CapacityConfig {
 
 impl Default for CapacityConfig {
     fn default() -> Self {
-        CapacityConfig { n_blocks: 4, block_dim: 64, items: 16, dtype: DType::Fp32 }
+        CapacityConfig {
+            n_blocks: 4,
+            block_dim: 64,
+            items: 16,
+            dtype: DType::Fp32,
+        }
     }
 }
 
@@ -88,7 +93,10 @@ pub fn measure_capacity<R: Rng + ?Sized>(
             .iter()
             .enumerate()
             .map(|(slot, &item)| {
-                items.codeword(item).bind(keys.codeword(slot)).expect("geometry fixed")
+                items
+                    .codeword(item)
+                    .bind(keys.codeword(slot))
+                    .expect("geometry fixed")
             })
             .collect();
         let mut bundle = ops::bundle(bound.iter()).expect("non-empty");
@@ -152,7 +160,11 @@ mod tests {
     #[test]
     fn small_superpositions_retrieve_reliably() {
         let r = measure_capacity(&CapacityConfig::default(), 4, 15, &mut rng());
-        assert!(r.retrieval_accuracy > 0.95, "accuracy {}", r.retrieval_accuracy);
+        assert!(
+            r.retrieval_accuracy > 0.95,
+            "accuracy {}",
+            r.retrieval_accuracy
+        );
     }
 
     #[test]
@@ -161,7 +173,10 @@ mod tests {
         let cfg = CapacityConfig::default();
         let narrow = measure_capacity(&cfg, 2, 15, &mut g).retrieval_accuracy;
         let wide = measure_capacity(&cfg, 14, 15, &mut g).retrieval_accuracy;
-        assert!(wide <= narrow, "capacity must not improve with width: {wide} vs {narrow}");
+        assert!(
+            wide <= narrow,
+            "capacity must not improve with width: {wide} vs {narrow}"
+        );
     }
 
     #[test]
@@ -170,7 +185,10 @@ mod tests {
         let mut g2 = StdRng::seed_from_u64(5);
         let fp = measure_capacity(&CapacityConfig::default(), 8, 15, &mut g1);
         let q = measure_capacity(
-            &CapacityConfig { dtype: DType::Int4, ..CapacityConfig::default() },
+            &CapacityConfig {
+                dtype: DType::Int4,
+                ..CapacityConfig::default()
+            },
             8,
             15,
             &mut g2,

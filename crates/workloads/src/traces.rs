@@ -66,35 +66,51 @@ fn push_model_with_taps(
         let id = match (&dims[i], layer.kind()) {
             (Some(g), _) => b.push(
                 format!("{}_{}", model.name(), layer.name()),
-                OpKind::Gemm { m: g.m * batch, n: g.n, k: g.k },
+                OpKind::Gemm {
+                    m: g.m * batch,
+                    n: g.n,
+                    k: g.k,
+                },
                 Domain::Neural,
                 dtype,
                 &inputs,
             ),
             (None, LayerKind::Relu) => b.push(
                 format!("{}_{}", model.name(), layer.name()),
-                OpKind::Elementwise { elems: out_elems * batch, func: EltFunc::Relu },
+                OpKind::Elementwise {
+                    elems: out_elems * batch,
+                    func: EltFunc::Relu,
+                },
                 Domain::Neural,
                 dtype,
                 &inputs,
             ),
             (None, LayerKind::BatchNorm2d) => b.push(
                 format!("{}_{}", model.name(), layer.name()),
-                OpKind::Elementwise { elems: out_elems * batch, func: EltFunc::Affine },
+                OpKind::Elementwise {
+                    elems: out_elems * batch,
+                    func: EltFunc::Affine,
+                },
                 Domain::Neural,
                 dtype,
                 &inputs,
             ),
             (None, LayerKind::GlobalAvgPool) => b.push(
                 format!("{}_{}", model.name(), layer.name()),
-                OpKind::Reduce { elems: model.layer_input_shape(i).volume() * batch, func: ReduceFunc::Mean },
+                OpKind::Reduce {
+                    elems: model.layer_input_shape(i).volume() * batch,
+                    func: ReduceFunc::Mean,
+                },
                 Domain::Neural,
                 dtype,
                 &inputs,
             ),
             (None, _) => b.push(
                 format!("{}_{}", model.name(), layer.name()),
-                OpKind::Elementwise { elems: out_elems * batch, func: EltFunc::PoolMax },
+                OpKind::Elementwise {
+                    elems: out_elems * batch,
+                    func: EltFunc::PoolMax,
+                },
                 Domain::Neural,
                 dtype,
                 &inputs,
@@ -111,6 +127,7 @@ fn push_model_with_taps(
 /// Pushes a chain of symbolic kernels: `bind_count` blockwise circular
 /// convolutions (geometry `n_vec × dim`), with a similarity + sum + clamp
 /// + mul glue group every `sim_every` bindings — the Listing-1 pattern.
+#[allow(clippy::too_many_arguments)]
 fn push_symbolic_chain(
     b: &mut TraceBuilder,
     prev: OpId,
@@ -133,21 +150,30 @@ fn push_symbolic_chain(
         if sim_every > 0 && (j + 1) % sim_every == 0 {
             let sim = b.push(
                 format!("match_prob_multi_batched_{j}"),
-                OpKind::Similarity { n_vec: dict, dim: n_vec * dim },
+                OpKind::Similarity {
+                    n_vec: dict,
+                    dim: n_vec * dim,
+                },
                 Domain::Symbolic,
                 dtype,
                 &[last],
             );
             let sum = b.push(
                 format!("sum_{j}"),
-                OpKind::Reduce { elems: dict, func: ReduceFunc::Sum },
+                OpKind::Reduce {
+                    elems: dict,
+                    func: ReduceFunc::Sum,
+                },
                 Domain::Symbolic,
                 dtype,
                 &[sim],
             );
             let clamp = b.push(
                 format!("clamp_{j}"),
-                OpKind::Elementwise { elems: 1, func: EltFunc::Clamp },
+                OpKind::Elementwise {
+                    elems: 1,
+                    func: EltFunc::Clamp,
+                },
                 Domain::Symbolic,
                 dtype,
                 &[sum],
@@ -156,7 +182,10 @@ fn push_symbolic_chain(
             // chains from the similarity output.
             let _mul = b.push(
                 format!("mul_{j}"),
-                OpKind::Elementwise { elems: 1, func: EltFunc::Mul },
+                OpKind::Elementwise {
+                    elems: 1,
+                    func: EltFunc::Mul,
+                },
                 Domain::Symbolic,
                 dtype,
                 &[sim, clamp],
@@ -214,7 +243,10 @@ pub fn mimonet() -> Workload {
     );
     let _ = b.push(
         "readout_sim",
-        OpKind::Similarity { n_vec: 16, dim: 512 },
+        OpKind::Similarity {
+            n_vec: 16,
+            dim: 512,
+        },
         Domain::Symbolic,
         DType::Int8,
         &[dec],
@@ -238,14 +270,20 @@ pub fn lvrf() -> Workload {
     // Probabilistic normalization tail (exp/log on rule probabilities).
     let t = b.push(
         "rule_prob_exp",
-        OpKind::Elementwise { elems: 4096, func: EltFunc::Transcendental },
+        OpKind::Elementwise {
+            elems: 4096,
+            func: EltFunc::Transcendental,
+        },
         Domain::Symbolic,
         DType::Int4,
         &[last],
     );
     let _ = b.push(
         "rule_prob_norm",
-        OpKind::Reduce { elems: 4096, func: ReduceFunc::Norm },
+        OpKind::Reduce {
+            elems: 4096,
+            func: ReduceFunc::Norm,
+        },
         Domain::Symbolic,
         DType::Int4,
         &[t],
@@ -276,7 +314,10 @@ pub fn prae() -> Workload {
         );
         let prob = b.push(
             format!("scene_prob_{j}"),
-            OpKind::Elementwise { elems: 2048, func: EltFunc::Softmax },
+            OpKind::Elementwise {
+                elems: 2048,
+                func: EltFunc::Softmax,
+            },
             Domain::Symbolic,
             DType::Int4,
             &[bind],
@@ -285,7 +326,10 @@ pub fn prae() -> Workload {
     }
     let _ = b.push(
         "abduce_sim",
-        OpKind::Similarity { n_vec: 8, dim: 1024 },
+        OpKind::Similarity {
+            n_vec: 8,
+            dim: 1024,
+        },
         Domain::Symbolic,
         DType::Int4,
         &[last],
@@ -313,7 +357,10 @@ pub fn all() -> Vec<Workload> {
 /// Panics unless `0.0 <= target_ratio < 1.0`.
 #[must_use]
 pub fn nvsa_like_with_symbolic_ratio(target_ratio: f64) -> (ExecutionTrace, f64) {
-    assert!((0.0..1.0).contains(&target_ratio), "ratio must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&target_ratio),
+        "ratio must be in [0, 1)"
+    );
     let mut b = TraceBuilder::new("nvsa-like-ablation");
     let backbone = models::resnet18(96, 3);
     let (last_nn, taps) = push_model_with_taps(&mut b, &backbone, DType::Int8, 2, None);
@@ -448,7 +495,10 @@ mod tests {
         let (_, s1) = base.macs_by_domain();
         let (_, s150) = big.macs_by_domain();
         let ratio = s150 as f64 / s1 as f64;
-        assert!((145.0..155.0).contains(&ratio), "symbolic scale ratio {ratio}");
+        assert!(
+            (145.0..155.0).contains(&ratio),
+            "symbolic scale ratio {ratio}"
+        );
         // NN part unchanged.
         let (n1, _) = base.macs_by_domain();
         let (n150, _) = big.macs_by_domain();

@@ -67,8 +67,7 @@ fn main() {
             w,
             n,
             t.t_loop,
-            100.0 * (t.t_loop as f64 - result.timing.t_loop as f64)
-                / result.timing.t_loop as f64
+            100.0 * (t.t_loop as f64 - result.timing.t_loop as f64) / result.timing.t_loop as f64
         );
     }
 }

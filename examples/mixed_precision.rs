@@ -21,12 +21,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<5} {:>7.1} MB",
             p.label,
-            mb(model_memory_bytes(workload.nn_params, workload.symbolic_elems, p))
+            mb(model_memory_bytes(
+                workload.nn_params,
+                workload.symbolic_elems,
+                p
+            ))
         );
     }
-    let fp32 = model_memory_bytes(workload.nn_params, workload.symbolic_elems, Precision::fp32());
-    let mp = model_memory_bytes(workload.nn_params, workload.symbolic_elems, Precision::mixed());
-    println!("  → mixed precision saves {:.1}× (paper: 5.8×)", fp32 as f64 / mp as f64);
+    let fp32 = model_memory_bytes(
+        workload.nn_params,
+        workload.symbolic_elems,
+        Precision::fp32(),
+    );
+    let mp = model_memory_bytes(
+        workload.nn_params,
+        workload.symbolic_elems,
+        Precision::mixed(),
+    );
+    println!(
+        "  → mixed precision saves {:.1}× (paper: 5.8×)",
+        fp32 as f64 / mp as f64
+    );
 
     println!("\nreasoning accuracy (RAVEN-like, 60 tasks per point):");
     let cfg = EvalConfig { tasks: 60 };
@@ -41,8 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("INT8/INT8", PrecisionConfig::uniform(DType::Int8)),
         ("INT8/INT4 (paper MP)", PrecisionConfig::mixed()),
     ] {
-        let design =
-            NsFlow::new().with_precision(precision).compile(traces::nvsa().trace)?;
+        let design = NsFlow::new()
+            .with_precision(precision)
+            .compile(traces::nvsa().trace)?;
         println!(
             "  {:<22} {} PEs, LUT {:>4.0}%  FF {:>4.0}%  DSP {:>4.0}%",
             label,

@@ -17,7 +17,10 @@ fn main() {
     // ── Solve one task step by step ─────────────────────────────────────
     let mut rng = StdRng::seed_from_u64(2025);
     let params = TaskParams::default();
-    let pipeline = PipelineConfig { ambiguity_std: 0.08, ..PipelineConfig::default() };
+    let pipeline = PipelineConfig {
+        ambiguity_std: 0.08,
+        ..PipelineConfig::default()
+    };
     let reasoner = VsaReasoner::new(params.attributes, params.values, pipeline, &mut rng);
 
     let task = generate(&params, &mut rng);
@@ -44,9 +47,17 @@ fn main() {
         "chose candidate {} (answer {}): {}",
         solution.choice,
         task.answer,
-        if solution.choice == task.answer { "correct" } else { "wrong" }
+        if solution.choice == task.answer {
+            "correct"
+        } else {
+            "wrong"
+        }
     );
-    let sims: Vec<String> = solution.candidate_sims.iter().map(|s| format!("{s:.2}")).collect();
+    let sims: Vec<String> = solution
+        .candidate_sims
+        .iter()
+        .map(|s| format!("{s:.2}"))
+        .collect();
     println!("candidate similarities: [{}]", sims.join(", "));
 
     // ── Accuracy across precisions (a mini Tab. IV) ─────────────────────

@@ -14,7 +14,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Either parse an FX-style trace dump (the paper's Listing 1)…
     let mut registry = ModuleRegistry::new();
     registry.insert("conv2", 64 * 9); // reduction length of the conv module
-    let parsed = parse_trace(LISTING1_NVSA, "nvsa-snippet", &registry, ParsePrecision::default(), 8)?;
+    let parsed = parse_trace(
+        LISTING1_NVSA,
+        "nvsa-snippet",
+        &registry,
+        ParsePrecision::default(),
+        8,
+    )?;
     println!(
         "parsed Listing 1: {} ops ({} NN, {} VSA, {} SIMD)",
         parsed.ops().len(),

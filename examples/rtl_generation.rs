@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::write(dir.join("nsflow_top.sv"), design.rtl_text())?;
 
     println!("generated artifacts in {}:", dir.display());
-    for name in ["nsflow_design.cfg", "nsflow_host_schedule.txt", "nsflow_top.sv"] {
+    for name in [
+        "nsflow_design.cfg",
+        "nsflow_host_schedule.txt",
+        "nsflow_top.sv",
+    ] {
         let len = fs::metadata(dir.join(name))?.len();
         println!("  {name:<26} {len:>6} bytes");
     }

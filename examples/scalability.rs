@@ -13,7 +13,10 @@ use nsflow::workloads::traces;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("symbolic-scale sweep (NVSA-like, NN part fixed):\n");
-    println!("{:>6} {:>14} {:>12} {:>10}", "scale", "NSFlow cycles", "vs ×1", "TPU-like");
+    println!(
+        "{:>6} {:>14} {:>12} {:>10}",
+        "scale", "NSFlow cycles", "vs ×1", "TPU-like"
+    );
     let mut base_cycles = None;
     for scale in [1usize, 5, 20, 50, 100, 150] {
         let trace = traces::nvsa_scaled_symbolic(scale);

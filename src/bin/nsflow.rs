@@ -71,7 +71,9 @@ fn demo(name: &str) -> Result<(), String> {
         "prae" => traces::prae(),
         other => return Err(format!("unknown workload {other} (nvsa|mimonet|lvrf|prae)")),
     };
-    let design = NsFlow::new().compile(workload.trace).map_err(|e| e.to_string())?;
+    let design = NsFlow::new()
+        .compile(workload.trace)
+        .map_err(|e| e.to_string())?;
     let report = design.deploy().run();
     println!(
         "{}: AdArray {} ({} PEs), SIMD ×{}, DSP {:.0}%  →  {:.3} ms end-to-end",
@@ -107,7 +109,9 @@ fn parse_compile_args(args: &[String]) -> Result<CompileArgs, String> {
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
-            it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
             "--trace" => trace_path = Some(PathBuf::from(value()?)),
@@ -116,13 +120,14 @@ fn parse_compile_args(args: &[String]) -> Result<CompileArgs, String> {
                     let (target, k) = pair
                         .split_once('=')
                         .ok_or_else(|| format!("bad registry entry {pair} (want name=k)"))?;
-                    let k: usize =
-                        k.parse().map_err(|_| format!("non-numeric k in {pair}"))?;
+                    let k: usize = k.parse().map_err(|_| format!("non-numeric k in {pair}"))?;
                     registry.insert(target.trim(), k);
                 }
             }
             "--loops" => {
-                loops = value()?.parse().map_err(|_| "non-numeric --loops".to_string())?;
+                loops = value()?
+                    .parse()
+                    .map_err(|_| "non-numeric --loops".to_string())?;
             }
             "--device" => {
                 device = match value()?.as_str() {
@@ -166,7 +171,10 @@ fn compile(args: CompileArgs) -> Result<(), String> {
         &text,
         &name,
         &args.registry,
-        ParsePrecision { neural: args.precision.neural, symbolic: args.precision.symbolic },
+        ParsePrecision {
+            neural: args.precision.neural,
+            symbolic: args.precision.symbolic,
+        },
         args.loops,
     )
     .map_err(|e| e.to_string())?;
@@ -219,8 +227,7 @@ fn compile(args: CompileArgs) -> Result<(), String> {
             ("timeline.gantt.txt", schedule.to_gantt_text(&design.graph)),
         ];
         for (file, contents) in writes {
-            fs::write(dir.join(file), contents)
-                .map_err(|e| format!("write {file}: {e}"))?;
+            fs::write(dir.join(file), contents).map_err(|e| format!("write {file}: {e}"))?;
             println!("wrote {}", dir.join(file).display());
         }
     }
@@ -263,7 +270,9 @@ mod tests {
 
     #[test]
     fn compile_args_require_trace() {
-        assert!(parse_compile_args(&s(&["--loops", "2"])).unwrap_err().contains("--trace"));
+        assert!(parse_compile_args(&s(&["--loops", "2"]))
+            .unwrap_err()
+            .contains("--trace"));
     }
 
     #[test]

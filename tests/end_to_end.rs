@@ -57,9 +57,14 @@ fn nsflow_beats_the_tpu_like_array_on_nvsa() {
     let workload = traces::nvsa();
     let design = NsFlow::new().compile(workload.trace.clone()).unwrap();
     let nsflow_s = design.deploy().run().seconds;
-    let tpu_s = TpuLikeArray::new_128x128().run(&workload.trace).total_seconds();
+    let tpu_s = TpuLikeArray::new_128x128()
+        .run(&workload.trace)
+        .total_seconds();
     let speedup = tpu_s / nsflow_s;
-    assert!(speedup > 2.0, "NSFlow vs TPU-like speedup only {speedup:.2}×");
+    assert!(
+        speedup > 2.0,
+        "NSFlow vs TPU-like speedup only {speedup:.2}×"
+    );
 }
 
 #[test]
@@ -82,7 +87,10 @@ fn nsflow_beats_the_dpu_on_symbolic_heavy_workloads() {
 fn symbolic_dominates_gpu_runtime_but_not_flops_for_nvsa() {
     let workload = traces::nvsa();
     let flop_share = workload.trace.symbolic_flop_fraction();
-    assert!(flop_share < 0.35, "symbolic FLOPs should be a minority: {flop_share}");
+    assert!(
+        flop_share < 0.35,
+        "symbolic FLOPs should be a minority: {flop_share}"
+    );
     let gpu = Device::rtx_2080_ti().run(&workload.trace);
     assert!(
         gpu.symbolic_fraction() > 0.5,
@@ -142,7 +150,10 @@ fn ablation_ratio_sweep_is_monotone_in_symbolic_work() {
 #[test]
 fn zcu104_hosts_a_smaller_feasible_design_for_small_workloads() {
     let workload = traces::prae();
-    match NsFlow::new().with_device(FpgaDevice::zcu104()).compile(workload.trace) {
+    match NsFlow::new()
+        .with_device(FpgaDevice::zcu104())
+        .compile(workload.trace)
+    {
         Ok(design) => {
             assert!(design.array().total_pes() < 8192);
             assert!(design.utilization.dsp_pct <= 100.0);

@@ -15,8 +15,14 @@ fn registry() -> ModuleRegistry {
 
 #[test]
 fn listing1_flows_through_graph_generation() {
-    let trace =
-        parse_trace(LISTING1_NVSA, "nvsa", &registry(), ParsePrecision::default(), 8).unwrap();
+    let trace = parse_trace(
+        LISTING1_NVSA,
+        "nvsa",
+        &registry(),
+        ParsePrecision::default(),
+        8,
+    )
+    .unwrap();
     let graph = DataflowGraph::from_trace(trace);
     assert!(!graph.critical_path().is_empty());
     // Every op lands in exactly one parallel group.
@@ -32,8 +38,14 @@ fn listing1_flows_through_graph_generation() {
 
 #[test]
 fn listing1_memory_plan_is_consistent() {
-    let trace =
-        parse_trace(LISTING1_NVSA, "nvsa", &registry(), ParsePrecision::default(), 8).unwrap();
+    let trace = parse_trace(
+        LISTING1_NVSA,
+        "nvsa",
+        &registry(),
+        ParsePrecision::default(),
+        8,
+    )
+    .unwrap();
     let graph = DataflowGraph::from_trace(trace);
     let req = graph.memory_requirements();
     assert!(req.max_nn_filter_bytes > 0);
@@ -48,10 +60,24 @@ fn listing1_memory_plan_is_consistent() {
 fn critical_path_is_really_the_longest_weighted_path() {
     // Exhaustively enumerate all paths of a small diamond DAG and compare.
     let mut b = TraceBuilder::new("diamond");
-    let s = b.push("s", OpKind::Gemm { m: 10, n: 10, k: 10 }, Domain::Neural, DType::Int8, &[]);
+    let s = b.push(
+        "s",
+        OpKind::Gemm {
+            m: 10,
+            n: 10,
+            k: 10,
+        },
+        Domain::Neural,
+        DType::Int8,
+        &[],
+    );
     let heavy = b.push(
         "heavy",
-        OpKind::Gemm { m: 100, n: 100, k: 100 },
+        OpKind::Gemm {
+            m: 100,
+            n: 100,
+            k: 100,
+        },
         Domain::Neural,
         DType::Int8,
         &[s],
@@ -148,14 +174,21 @@ fn parser_and_builder_produce_equivalent_structures() {
     let mut b = TraceBuilder::new("tiny");
     let c = b.push(
         "conv_1",
-        OpKind::Gemm { m: 256, n: 8, k: 27 },
+        OpKind::Gemm {
+            m: 256,
+            n: 8,
+            k: 27,
+        },
         Domain::Neural,
         DType::Int8,
         &[],
     );
     let r = b.push(
         "relu_1",
-        OpKind::Elementwise { elems: 2048, func: nsflow::trace::EltFunc::Relu },
+        OpKind::Elementwise {
+            elems: 2048,
+            func: nsflow::trace::EltFunc::Relu,
+        },
         Domain::Neural,
         DType::Int8,
         &[c],

@@ -3,7 +3,7 @@
 //! schedule correctness on randomized workloads.
 
 use nsflow::arch::adarray::microsim;
-use nsflow::arch::{analytical, ArrayConfig, Mapping};
+use nsflow::arch::{analytical, ArrayConfig};
 use nsflow::dse::{explore, DseOptions};
 use nsflow::graph::DataflowGraph;
 use nsflow::nn::gemm;
