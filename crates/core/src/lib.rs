@@ -31,6 +31,13 @@
 
 use std::fmt;
 
+/// The shared deterministic parallelism utility ([`par::parallel_map`],
+/// [`par::KernelOptions`]) used by the DSE sweeps, the blocked GEMM
+/// kernels and the spectral VSA engine. Physically hosted in
+/// `nsflow-tensor` (the dependency-free base crate) so every kernel crate
+/// can reach it; re-exported here as the framework-level name.
+pub use nsflow_tensor::par;
+
 use nsflow_arch::memory::{MemoryPlan, TransferModel};
 use nsflow_arch::{analytical, simd, ArrayConfig, Mapping, PrecisionConfig};
 use nsflow_dse::{explore, DseOptions, DseResult};

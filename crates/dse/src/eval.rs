@@ -21,7 +21,8 @@
 //!
 //! # Determinism
 //!
-//! [`parallel_map`] splits the work list into contiguous chunks, one
+//! [`parallel_map`] (now the shared `nsflow_tensor::par::parallel_map`,
+//! re-exported here) splits the work list into contiguous chunks, one
 //! worker thread per chunk, and returns results **in input order** —
 //! reductions that scan the output with strict-`<` "first minimum wins"
 //! tie-breaking therefore produce bit-identical results to a serial scan,
@@ -30,6 +31,8 @@
 //! serial reference implementations.
 
 use std::time::Duration;
+
+pub(crate) use nsflow_tensor::par::parallel_map;
 
 use nsflow_arch::analytical::LoopTiming;
 use nsflow_arch::{analytical, ArrayConfig, Mapping};
@@ -335,35 +338,6 @@ impl EvalEngine {
             t_simd: self.t_simd,
         }
     }
-}
-
-/// Maps `f` over `items` on up to `threads` OS threads, returning results
-/// **in input order**. Contiguous chunking keeps reductions deterministic:
-/// scanning the output with strict-`<` comparisons visits candidates in
-/// exactly the serial order. `threads <= 1` (or a single item) short-
-/// circuits to a plain serial map with zero threading overhead.
-pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("DSE worker thread panicked"))
-            .collect()
-    })
 }
 
 #[cfg(test)]

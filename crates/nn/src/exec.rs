@@ -1,14 +1,21 @@
 //! Functional executor for [`Model`]s.
 //!
 //! Executes each layer on real `f32` tensors: convolution via im2col +
-//! [`crate::gemm::matmul`], linear, max/global-average pooling, batch norm
-//! (inference affine with unit statistics) and ReLU. The executor exists to
-//! (a) validate the shape algebra against real data movement and (b) drive
-//! the quantized reasoning-accuracy experiments with genuine NN arithmetic.
+//! the blocked [`crate::gemm::matmul_fast`] engine kernel, linear, max/
+//! global-average pooling, batch norm (inference affine with unit
+//! statistics) and ReLU. The executor exists to (a) validate the shape
+//! algebra against real data movement and (b) drive the quantized
+//! reasoning-accuracy experiments with genuine NN arithmetic.
+//!
+//! The engine kernels are bit-identical to the reference GEMM oracles at
+//! every thread count, so [`forward`] (which runs with
+//! [`KernelOptions::default`]) and [`forward_with`] produce the same
+//! tensors regardless of the `threads` knob.
 //!
 //! Weights are owned by [`Parameters`], generated deterministically from a
 //! seed so every experiment is reproducible.
 
+use nsflow_tensor::par::KernelOptions;
 use nsflow_tensor::{Shape, Tensor};
 use rand::Rng;
 
@@ -116,6 +123,22 @@ fn gaussianish<R: Rng + ?Sized>(n: usize, std: f32, rng: &mut R) -> Vec<f32> {
 /// Returns [`NnError::ShapeMismatch`] if `input` differs from the model's
 /// declared input shape, and propagates per-layer shape errors.
 pub fn forward(model: &Model, params: &Parameters, input: &Tensor) -> Result<Tensor> {
+    forward_with(model, params, input, &KernelOptions::default())
+}
+
+/// Runs a full forward pass with an explicit kernel-engine configuration
+/// (thread count). The result is independent of `options.threads`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if `input` differs from the model's
+/// declared input shape, and propagates per-layer shape errors.
+pub fn forward_with(
+    model: &Model,
+    params: &Parameters,
+    input: &Tensor,
+    options: &KernelOptions,
+) -> Result<Tensor> {
     if input.shape() != model.input_shape() {
         return Err(NnError::ShapeMismatch {
             layer: "<input>".into(),
@@ -131,22 +154,19 @@ pub fn forward(model: &Model, params: &Parameters, input: &Tensor) -> Result<Ten
             params.weight(i),
             params.bias(i),
             layer,
-            model,
-            i,
+            options,
         )?;
     }
     Ok(x)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn forward_layer(
     kind: &LayerKind,
     x: &Tensor,
     w: &[f32],
     b: &[f32],
     layer: &crate::LayerSpec,
-    _model: &Model,
-    _i: usize,
+    options: &KernelOptions,
 ) -> Result<Tensor> {
     let out_shape = layer.output_shape(x.shape())?;
     match kind {
@@ -157,7 +177,7 @@ fn forward_layer(
             stride,
             padding,
         } => conv2d(
-            x, w, b, *in_ch, *out_ch, *kernel, *stride, *padding, &out_shape,
+            x, w, b, *in_ch, *out_ch, *kernel, *stride, *padding, &out_shape, options,
         ),
         LayerKind::Linear {
             in_features,
@@ -167,7 +187,7 @@ fn forward_layer(
             let mut out = Vec::with_capacity(batch * out_features);
             for bi in 0..batch {
                 let row = &x.data()[bi * in_features..(bi + 1) * in_features];
-                let y = gemm::matvec(w, row, *out_features, *in_features);
+                let y = gemm::matvec_fast(w, row, *out_features, *in_features, options);
                 out.extend(y.iter().zip(b).map(|(v, bias)| v + bias));
             }
             Ok(Tensor::from_vec(out_shape, out).expect("volume matches by construction"))
@@ -190,6 +210,7 @@ fn conv2d(
     stride: usize,
     padding: usize,
     out_shape: &Shape,
+    options: &KernelOptions,
 ) -> Result<Tensor> {
     let d = x.shape().dims();
     let (batch, h, width) = (d[0], d[2], d[3]);
@@ -233,7 +254,7 @@ fn conv2d(
                 wt[p * out_ch + oc] = w[oc * patch_len + p];
             }
         }
-        let y = gemm::matmul(&cols, &wt, oh * ow, patch_len, out_ch);
+        let y = gemm::matmul_fast(&cols, &wt, oh * ow, patch_len, out_ch, options);
         // Scatter back to NCHW, adding bias.
         for oc in 0..out_ch {
             for pix in 0..oh * ow {

@@ -1,0 +1,152 @@
+//! Equivalence properties for the blocked/parallel GEMM engine: on random
+//! shapes and data — including degenerate zero dimensions and entries the
+//! reference's zero-skip branch sees — `matmul_fast`/`matvec_fast` return
+//! **bit-identical** output to the reference oracles at every thread
+//! count. Exactness (not tolerance) is the contract: the fast kernels
+//! reorder nothing, they only tile and partition.
+
+use nsflow_nn::gemm::{matmul, matmul_fast, matvec, matvec_fast};
+use nsflow_tensor::par::KernelOptions;
+use proptest::prelude::*;
+
+/// Random matrix entries on a 1/8 grid with ~11% exact zeros, so the
+/// reference's `aip == 0.0` skip branch is exercised and products stay
+/// exactly representable.
+fn matrix(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        (-100i32..100).prop_map(|v| if v % 9 == 0 { 0.0 } else { v as f32 / 8.0 }),
+        len,
+    )
+}
+
+/// Shapes plus matching data plus a thread count, for `matmul`.
+fn matmul_case() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>, usize)> {
+    (0usize..20, 0usize..20, 0usize..20, 1usize..6).prop_flat_map(|(m, k, n, threads)| {
+        (
+            Just(m),
+            Just(k),
+            Just(n),
+            matrix(m * k),
+            matrix(k * n),
+            Just(threads),
+        )
+    })
+}
+
+/// Shapes plus matching data plus a thread count, for `matvec`.
+fn matvec_case() -> impl Strategy<Value = (usize, usize, Vec<f32>, Vec<f32>, usize)> {
+    (0usize..40, 0usize..40, 1usize..6).prop_flat_map(|(m, k, threads)| {
+        (Just(m), Just(k), matrix(m * k), matrix(k), Just(threads))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_fast_matches_reference((m, k, n, a, b, threads) in matmul_case()) {
+        let expected = matmul(&a, &b, m, k, n);
+        let opts = KernelOptions::with_threads(threads);
+        prop_assert_eq!(matmul_fast(&a, &b, m, k, n, &opts), expected);
+    }
+
+    #[test]
+    fn matvec_fast_matches_reference((m, k, a, x, threads) in matvec_case()) {
+        let expected = matvec(&a, &x, m, k);
+        let opts = KernelOptions::with_threads(threads);
+        prop_assert_eq!(matvec_fast(&a, &x, m, k, &opts), expected);
+    }
+}
+
+/// Deterministic pseudo-random data for the large-shape cases the random
+/// ranges above do not reach: sizes that cross the parallel threshold and
+/// the `K_TILE` boundary.
+fn lcg_data(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Grid-quantized values with ~10% exact zeros.
+            let v = ((state >> 40) as i32 % 64) as f32 / 16.0;
+            if (state >> 33).is_multiple_of(10) {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn matmul_fast_exact_above_parallel_threshold_and_k_tile() {
+    // 96×300×64: crosses PAR_THRESHOLD_FLOPS (2^16) and the K_TILE = 256
+    // boundary, so both the tiled reduction and the threaded row split run.
+    let (m, k, n) = (96usize, 300usize, 64usize);
+    let a = lcg_data(m * k, 7);
+    let b = lcg_data(k * n, 8);
+    let expected = matmul(&a, &b, m, k, n);
+    for threads in [1usize, 2, 3, 5, 16] {
+        let opts = KernelOptions::with_threads(threads);
+        assert_eq!(
+            matmul_fast(&a, &b, m, k, n, &opts),
+            expected,
+            "threads={threads}"
+        );
+    }
+    assert_eq!(
+        matmul_fast(&a, &b, m, k, n, &KernelOptions::auto()),
+        expected
+    );
+}
+
+#[test]
+fn matvec_fast_exact_above_parallel_threshold() {
+    let (m, k) = (512usize, 256usize);
+    let a = lcg_data(m * k, 9);
+    let x = lcg_data(k, 10);
+    let expected = matvec(&a, &x, m, k);
+    for threads in [1usize, 2, 7, 32] {
+        let opts = KernelOptions::with_threads(threads);
+        assert_eq!(
+            matvec_fast(&a, &x, m, k, &opts),
+            expected,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn degenerate_dimensions_are_exact() {
+    let opts = KernelOptions::with_threads(4);
+    // m = 0: empty output.
+    assert_eq!(
+        matmul_fast(&[], &[1.0, 2.0], 0, 1, 2, &opts),
+        Vec::<f32>::new()
+    );
+    // k = 0: all-zero m×n output (no accumulation happens).
+    assert_eq!(matmul_fast(&[], &[], 3, 0, 2, &opts), vec![0.0; 6]);
+    assert_eq!(matmul(&[], &[], 3, 0, 2), vec![0.0; 6]);
+    // n = 0: empty output.
+    assert_eq!(
+        matmul_fast(&[1.0, 2.0], &[], 2, 1, 0, &opts),
+        Vec::<f32>::new()
+    );
+    // matvec with m = 0 and k = 0.
+    assert_eq!(matvec_fast(&[], &[1.0], 0, 1, &opts), Vec::<f32>::new());
+    assert_eq!(matvec_fast(&[], &[], 2, 0, &opts), vec![0.0; 2]);
+    assert_eq!(matvec(&[], &[], 2, 0), vec![0.0; 2]);
+}
+
+#[test]
+fn more_threads_than_rows_is_exact() {
+    let (m, k, n) = (3usize, 40usize, 40usize);
+    let a = lcg_data(m * k, 11);
+    let b = lcg_data(k * n, 12);
+    let expected = matmul(&a, &b, m, k, n);
+    assert_eq!(
+        matmul_fast(&a, &b, m, k, n, &KernelOptions::with_threads(64)),
+        expected
+    );
+}

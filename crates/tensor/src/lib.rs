@@ -13,7 +13,10 @@
 //!   bit/byte accounting used for memory-footprint results (paper Tab. IV),
 //! - [`quant`]: symmetric fixed-point quantization and software FP16
 //!   emulation, used both functionally (fake-quantized execution for the
-//!   reasoning-accuracy harness) and for storage sizing.
+//!   reasoning-accuracy harness) and for storage sizing,
+//! - [`par`]: the deterministic input-order-chunked thread pool and the
+//!   [`par::KernelOptions`] threads knob shared by the DSE sweeps, the
+//!   blocked GEMM kernels and the spectral VSA engine.
 //!
 //! # Examples
 //!
@@ -35,6 +38,7 @@ mod error;
 mod shape;
 mod tensor_impl;
 
+pub mod par;
 pub mod quant;
 
 pub use dtype::DType;

@@ -1,0 +1,192 @@
+//! Deterministic thread-parallel mapping shared by every software kernel.
+//!
+//! PR 1 buried a deterministic `std::thread::scope` pool inside
+//! `nsflow-dse::eval`; the functional kernel engine (blocked GEMM in
+//! `nsflow-nn`, the spectral VSA engine in `nsflow-vsa`, the workload
+//! pipelines) needs the same primitive, so it lives here in the base crate
+//! and is re-exported as `nsflow_core::par`.
+//!
+//! # Determinism contract
+//!
+//! [`parallel_map`] splits the work list into **contiguous chunks in input
+//! order**, one worker per chunk, and returns results in input order.
+//! Reductions that scan the output with strict-`<` "first minimum wins"
+//! tie-breaking therefore produce bit-identical results to a serial scan,
+//! regardless of thread count — the property the DSE equivalence proptests
+//! (`crates/dse/tests/parallel_equivalence.rs`) and the GEMM/VSA kernel
+//! proptests pin down. Kernels built on it additionally keep each output
+//! element owned by exactly one worker, so floating-point accumulation
+//! order never depends on the thread count either.
+
+/// Thread-count knob threaded through the functional kernel engine
+/// (blocked GEMM, the spectral resonator, the workload pipelines).
+///
+/// The knob only changes *wall time*: every kernel taking a
+/// `KernelOptions` partitions outputs so each element is produced by one
+/// worker with a fixed accumulation order, making results independent of
+/// the thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelOptions {
+    /// Worker threads; `None` selects the host's available parallelism,
+    /// `Some(1)` forces the serial path.
+    pub threads: Option<usize>,
+}
+
+impl KernelOptions {
+    /// Serial execution (no worker threads).
+    #[must_use]
+    pub const fn serial() -> Self {
+        KernelOptions { threads: Some(1) }
+    }
+
+    /// One worker per available hardware thread.
+    #[must_use]
+    pub const fn auto() -> Self {
+        KernelOptions { threads: None }
+    }
+
+    /// A fixed worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be nonzero");
+        KernelOptions {
+            threads: Some(threads),
+        }
+    }
+
+    /// The concrete worker count this knob resolves to on this host.
+    #[must_use]
+    pub fn resolve(&self) -> usize {
+        self.threads.unwrap_or_else(available_threads).max(1)
+    }
+}
+
+/// The host's available parallelism (1 when it cannot be queried).
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` OS threads, returning results
+/// **in input order**. Contiguous chunking keeps reductions deterministic:
+/// scanning the output with strict-`<` comparisons visits candidates in
+/// exactly the serial order. `threads <= 1` (or a single item) short-
+/// circuits to a plain serial map with zero threading overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the worker's panic is resurfaced on the
+/// calling thread).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `f` once per contiguous chunk of `0..len`, in parallel, passing
+/// each chunk's half-open index range. This is the "each worker owns a
+/// disjoint slice of the output" building block the blocked GEMM kernels
+/// use: `f` receives `(start, end)` and must only touch outputs in that
+/// range, which makes the result independent of the thread count by
+/// construction.
+pub fn parallel_chunks<F>(len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = threads.clamp(1, len.max(1));
+    if threads == 1 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + chunk).min(len);
+            s.spawn(move || f(start, end));
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map(&items, threads, |&x| x * 2);
+            assert_eq!(
+                out,
+                items.iter().map(|&x| x * 2).collect::<Vec<_>>(),
+                "t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_chunks_covers_every_index_once() {
+        use std::sync::Mutex;
+        for (len, threads) in [(0usize, 4usize), (1, 4), (10, 3), (64, 8), (7, 16)] {
+            let seen = Mutex::new(vec![0u32; len]);
+            parallel_chunks(len, threads, |start, end| {
+                let mut s = seen.lock().unwrap();
+                for i in start..end {
+                    s[i] += 1;
+                }
+            });
+            assert!(
+                seen.into_inner().unwrap().iter().all(|&c| c == 1),
+                "len={len} t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_options_resolve() {
+        assert_eq!(KernelOptions::serial().resolve(), 1);
+        assert_eq!(KernelOptions::with_threads(3).resolve(), 3);
+        assert!(KernelOptions::auto().resolve() >= 1);
+        assert_eq!(KernelOptions::default(), KernelOptions::auto());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_threads_rejected() {
+        let _ = KernelOptions::with_threads(0);
+    }
+}

@@ -1,0 +1,617 @@
+//! Spectral-cached VSA kernel engine.
+//!
+//! The reference kernels in [`crate::ops`] and [`crate::resonator`]
+//! recompute everything from scratch: every bind/unbind is an O(d²)
+//! direct convolution and every codebook projection walks the codewords
+//! one [`BlockCode::similarity`] call at a time. That is the right shape
+//! for the hardware cross-check oracles, but the functional workload path
+//! (the reasoning pipeline, the accuracy harness, the scalability
+//! experiments) runs these kernels millions of times and only cares about
+//! the values.
+//!
+//! This module is the fast path:
+//!
+//! - [`SpectralCodebook`] precomputes, **once**, the per-codeword block
+//!   spectra (for spectral-domain superposition), a flat row-major
+//!   codeword matrix, and the per-codeword norms. Cleanup, similarity
+//!   scans, and softmax projections become one blocked matvec over the
+//!   matrix ([`nsflow_nn::gemm::matvec_fast`]) plus a scale — and are
+//!   **bit-identical** to the reference `Codebook` methods, because the
+//!   matvec folds each row in the same left-to-right order as
+//!   [`BlockCode::similarity`].
+//! - [`SpectralResonator`] runs the resonator's refinement loop entirely
+//!   in the spectral domain. Factor estimates are kept as cached spectra;
+//!   binding the "other" estimates is a pointwise spectral product, and
+//!   unbinding from the target is a pointwise product with the conjugate
+//!   — so each factor update costs **one inverse FFT** (for the residual
+//!   that feeds the codebook projection) instead of the reference's chain
+//!   of O(d²) convolutions. The probability-weighted superposition that
+//!   feeds back into the next iteration is assembled directly from the
+//!   cached codeword spectra, so no forward FFT ever runs inside the
+//!   loop.
+//!
+//! # Equivalence with the reference resonator
+//!
+//! The spectral loop mirrors [`Resonator::factorize`] decision for
+//! decision: the same softmax temperature clamp, the same
+//! last-of-equal-maxima argmax, and the same "no index changed and at
+//! least two sweeps ran" convergence rule. Two deliberate numerical
+//! differences are documented here and bounded by the equivalence tests:
+//!
+//! 1. Residuals are produced by the f64 FFT instead of the f32 direct
+//!    kernel, so their entries differ from the reference by FFT rounding
+//!    (~1e-6 relative — the f64 transform is *more* accurate than the f32
+//!    O(d²) sum it replaces).
+//! 2. Estimates are not re-normalized each iteration. Cosine similarity
+//!    is invariant under positive scaling of the query, and the
+//!    probability-weighted superposition of unit-norm codewords keeps
+//!    every estimate's norm in `[~1/√N, 1]`, so skipping the reference's
+//!    `normalize()` changes no similarity by more than rounding and never
+//!    under/overflows.
+//!
+//! Both effects perturb softmax inputs by ≲1e-5, far below the
+//! inter-codeword similarity gaps (~0.1 at the dimensions the workloads
+//! use), so the *index trajectory* — and therefore the returned
+//! factorization — matches the reference exactly on the tested
+//! geometries.
+//!
+//! # Fallback contract
+//!
+//! The spectral path needs [`crate::fft::fast_path_applies`] to hold for
+//! the block dimension (power of two, ≥ 8). For any other geometry
+//! [`SpectralResonator::factorize`] transparently delegates to the
+//! reference [`Resonator`], so the engine is total over every geometry
+//! the reference accepts.
+
+use nsflow_nn::gemm;
+use nsflow_tensor::par::KernelOptions;
+
+use crate::fft::{self, Complex, FftPlan};
+use crate::resonator::{Factorization, Resonator, ResonatorConfig};
+use crate::{ops, BlockCode, Codebook, Result};
+
+/// A [`Codebook`] with precomputed spectral and matrix caches.
+///
+/// Construction cost is one FFT per codeword block plus one pass over the
+/// data; every subsequent cleanup/similarity/projection call amortizes it.
+///
+/// # Examples
+///
+/// ```
+/// use nsflow_vsa::{Codebook, engine::SpectralCodebook};
+/// use nsflow_tensor::par::KernelOptions;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let book = Codebook::random_unitary(16, 4, 64, &mut rng);
+/// let engine = SpectralCodebook::new(book.clone());
+/// let query = book.codeword(9);
+/// assert_eq!(engine.cleanup(query, &KernelOptions::auto())?, 9);
+/// # Ok::<(), nsflow_vsa::VsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpectralCodebook {
+    book: Codebook,
+    n_blocks: usize,
+    block_dim: usize,
+    dim: usize,
+    /// Row-major `len × dim` matrix of codeword data.
+    flat: Vec<f32>,
+    /// Per-codeword L2 norms, computed with the same f32 fold as
+    /// [`BlockCode::similarity`] so quotients are bit-identical.
+    norms: Vec<f32>,
+    /// Per-codeword blockwise spectra (block FFTs concatenated), present
+    /// iff the block dimension admits the radix-2 fast path.
+    spectra: Option<Vec<Vec<Complex>>>,
+}
+
+impl SpectralCodebook {
+    /// Builds the caches for `book`.
+    #[must_use]
+    pub fn new(book: Codebook) -> Self {
+        let first = book.codeword(0);
+        let (n_blocks, block_dim) = (first.n_blocks(), first.block_dim());
+        let dim = n_blocks * block_dim;
+        let mut flat = Vec::with_capacity(book.len() * dim);
+        let mut norms = Vec::with_capacity(book.len());
+        for cw in book.codewords() {
+            flat.extend_from_slice(cw.data());
+            norms.push(cw.data().iter().map(|x| x * x).sum::<f32>().sqrt());
+        }
+        let spectra = fft::fast_path_applies(block_dim).then(|| {
+            let plan = fft::plan(block_dim);
+            book.codewords()
+                .iter()
+                .map(|cw| spectrum_of(cw.data(), n_blocks, &plan))
+                .collect()
+        });
+        SpectralCodebook {
+            book,
+            n_blocks,
+            block_dim,
+            dim,
+            flat,
+            norms,
+            spectra,
+        }
+    }
+
+    /// The wrapped codebook.
+    #[must_use]
+    pub fn book(&self) -> &Codebook {
+        &self.book
+    }
+
+    /// Number of codewords.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.book.len()
+    }
+
+    /// Whether the codebook is empty (never true for a constructed one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.book.is_empty()
+    }
+
+    /// Whether the spectral caches are live (block dimension admits the
+    /// radix-2 fast path); when false the resonator delegates to the
+    /// reference implementation.
+    #[must_use]
+    pub fn is_spectral(&self) -> bool {
+        self.spectra.is_some()
+    }
+
+    /// Similarities of `query` against every codeword as one blocked
+    /// matvec — bit-identical to [`Codebook::similarities`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::VsaError::GeometryMismatch`] on geometry
+    /// disagreement.
+    pub fn similarities(&self, query: &BlockCode, options: &KernelOptions) -> Result<Vec<f32>> {
+        self.book.codeword(0).check_geometry(query)?;
+        Ok(self.similarities_flat(query.data(), options))
+    }
+
+    /// Cleanup memory: index of the most similar codeword (first of equal
+    /// maxima, matching [`Codebook::cleanup`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::VsaError::GeometryMismatch`] on geometry
+    /// disagreement.
+    pub fn cleanup(&self, query: &BlockCode, options: &KernelOptions) -> Result<usize> {
+        let sims = self.similarities(query, options)?;
+        let mut best = 0usize;
+        let mut best_sim = f32::NEG_INFINITY;
+        for (i, &s) in sims.iter().enumerate() {
+            if s > best_sim {
+                best_sim = s;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Softmax match probabilities — bit-identical to
+    /// [`Codebook::match_prob`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::VsaError::GeometryMismatch`] on geometry
+    /// disagreement.
+    pub fn match_prob(
+        &self,
+        query: &BlockCode,
+        temperature: f32,
+        options: &KernelOptions,
+    ) -> Result<Vec<f32>> {
+        let sims = self.similarities(query, options)?;
+        let t = temperature.max(f32::MIN_POSITIVE);
+        let logits: Vec<f32> = sims.into_iter().map(|s| s / t).collect();
+        Ok(ops::softmax(&logits))
+    }
+
+    /// Similarity scan against a raw query slice (no geometry to check:
+    /// the engine's internal residuals are plain vectors).
+    fn similarities_flat(&self, query: &[f32], options: &KernelOptions) -> Vec<f32> {
+        debug_assert_eq!(query.len(), self.dim);
+        let dots = gemm::matvec_fast(&self.flat, query, self.book.len(), self.dim, options);
+        let qn: f32 = query.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dots.into_iter()
+            .zip(&self.norms)
+            .map(|(dot, &cn)| {
+                if qn == 0.0 || cn == 0.0 {
+                    0.0
+                } else {
+                    dot / (qn * cn)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Blockwise forward spectrum of a block-code data slice.
+fn spectrum_of(data: &[f32], n_blocks: usize, plan: &FftPlan) -> Vec<Complex> {
+    let bd = plan.len();
+    let mut spec = Vec::with_capacity(n_blocks * bd);
+    for blk in 0..n_blocks {
+        spec.extend(plan.forward_real(&data[blk * bd..(blk + 1) * bd]));
+    }
+    spec
+}
+
+/// Resonator network running on [`SpectralCodebook`] caches.
+///
+/// Matches [`Resonator::factorize`] semantics (see the module docs for
+/// the equivalence argument) at O(d·log d) per factor update instead of
+/// O(d²). Geometries outside the fast path delegate to the reference.
+///
+/// # Examples
+///
+/// ```
+/// use nsflow_vsa::{Codebook, engine::SpectralResonator};
+/// use nsflow_vsa::resonator::ResonatorConfig;
+/// use nsflow_tensor::par::KernelOptions;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let f1 = Codebook::random_unitary(5, 4, 128, &mut rng);
+/// let f2 = Codebook::random_unitary(5, 4, 128, &mut rng);
+/// let target = f1.codeword(2).bind(f2.codeword(4))?;
+/// let res = SpectralResonator::new(vec![f1, f2], KernelOptions::auto())?;
+/// let out = res.factorize(&target, ResonatorConfig::default())?;
+/// assert_eq!(out.indices, vec![2, 4]);
+/// # Ok::<(), nsflow_vsa::VsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpectralResonator {
+    reference: Resonator,
+    books: Vec<SpectralCodebook>,
+    options: KernelOptions,
+}
+
+impl SpectralResonator {
+    /// Creates the engine from one codebook per factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::VsaError::FactorGeometryMismatch`] under the same
+    /// conditions as [`Resonator::new`].
+    pub fn new(factors: Vec<Codebook>, options: KernelOptions) -> Result<Self> {
+        let books = factors.iter().cloned().map(SpectralCodebook::new).collect();
+        let reference = Resonator::new(factors)?;
+        Ok(SpectralResonator {
+            reference,
+            books,
+            options,
+        })
+    }
+
+    /// The spectral factor codebooks.
+    #[must_use]
+    pub fn books(&self) -> &[SpectralCodebook] {
+        &self.books
+    }
+
+    /// The reference resonator over the same factors (the fallback path
+    /// and the oracle the equivalence tests compare against).
+    #[must_use]
+    pub fn reference(&self) -> &Resonator {
+        &self.reference
+    }
+
+    /// The threading knob every kernel call inherits.
+    #[must_use]
+    pub fn options(&self) -> &KernelOptions {
+        &self.options
+    }
+
+    /// Whether factorization will run the spectral loop (vs. delegating
+    /// to the reference resonator).
+    #[must_use]
+    pub fn is_spectral(&self) -> bool {
+        self.books.iter().all(SpectralCodebook::is_spectral)
+    }
+
+    /// Binds selected codewords back into a product — same as
+    /// [`Resonator::reconstruct`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::VsaError::CodewordOutOfRange`] if an index
+    /// exceeds its codebook.
+    pub fn reconstruct(&self, indices: &[usize]) -> Result<BlockCode> {
+        self.reference.reconstruct(indices)
+    }
+
+    /// Iteratively factorizes `target` into one codeword per factor.
+    ///
+    /// Semantics match [`Resonator::factorize`]; see the module docs for
+    /// the documented numerical differences on the spectral path and the
+    /// fallback contract for unsupported geometries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors if `target` disagrees with the
+    /// codebooks.
+    pub fn factorize(&self, target: &BlockCode, config: ResonatorConfig) -> Result<Factorization> {
+        if !self.is_spectral() {
+            return self.reference.factorize(target, config);
+        }
+        // Geometry check against factor 0 (all factors agree by
+        // construction).
+        self.books[0].book.codeword(0).check_geometry(target)?;
+
+        let nf = self.books.len();
+        let (nb, bd) = (self.books[0].n_blocks, self.books[0].block_dim);
+        let dim = nb * bd;
+        let plan = fft::plan(bd);
+        let t_spec = spectrum_of(target.data(), nb, &plan);
+
+        // Estimates live as spectra. Initialization is the uniform
+        // codebook superposition — a plain sum of the cached spectra
+        // (normalization skipped; see module docs).
+        let mut est_spec: Vec<Vec<Complex>> = self
+            .books
+            .iter()
+            .map(|book| {
+                let spectra = book.spectra.as_ref().expect("spectral path checked above");
+                let mut acc = vec![Complex::ZERO; dim];
+                for spec in spectra {
+                    for (a, s) in acc.iter_mut().zip(spec) {
+                        *a = a.add(*s);
+                    }
+                }
+                acc
+            })
+            .collect();
+
+        let mut indices: Vec<usize> = vec![0; nf];
+        let mut iterations = 0usize;
+        let mut residual_spec = vec![Complex::ZERO; dim];
+        let mut residual = vec![0.0f32; dim];
+
+        for _sweep in 0..config.max_iterations {
+            iterations += 1;
+            let mut changed = false;
+            for f in 0..nf {
+                // residual = target ⊘ (⊛ other estimates): pointwise
+                // product of the other spectra, conjugated against the
+                // target spectrum.
+                for (i, slot) in residual_spec.iter_mut().enumerate() {
+                    let mut others = Complex { re: 1.0, im: 0.0 };
+                    for (g, est) in est_spec.iter().enumerate() {
+                        if g != f {
+                            others = others.mul(est[i]);
+                        }
+                    }
+                    *slot = t_spec[i].mul(others.conj());
+                }
+                // One inverse FFT per factor update: the residual must
+                // come back to the time domain for the codebook scan.
+                for blk in 0..nb {
+                    let time = plan.inverse_real(residual_spec[blk * bd..(blk + 1) * bd].to_vec());
+                    residual[blk * bd..(blk + 1) * bd].copy_from_slice(&time);
+                }
+                let book = &self.books[f];
+                let sims = book.similarities_flat(&residual, &self.options);
+                let t = config.temperature.max(f32::MIN_POSITIVE);
+                let logits: Vec<f32> = sims.iter().map(|s| s / t).collect();
+                let probs = ops::softmax(&logits);
+                // New estimate: probability-weighted superposition,
+                // assembled directly in the spectral domain from the
+                // cached codeword spectra — no forward FFT.
+                let spectra = book.spectra.as_ref().expect("spectral path checked above");
+                let acc = &mut est_spec[f];
+                acc.fill(Complex::ZERO);
+                for (&p, spec) in probs.iter().zip(spectra) {
+                    let w = f64::from(p);
+                    for (a, s) in acc.iter_mut().zip(spec) {
+                        *a = a.add(s.scale(w));
+                    }
+                }
+                let best = argmax_last(&probs);
+                if best != indices[f] {
+                    indices[f] = best;
+                    changed = true;
+                }
+            }
+            if !changed && iterations > 1 {
+                return Ok(Factorization {
+                    indices,
+                    iterations,
+                    converged: true,
+                });
+            }
+        }
+        Ok(Factorization {
+            indices,
+            iterations,
+            converged: false,
+        })
+    }
+}
+
+/// Argmax returning the **last** of equal maxima — the same tie-break as
+/// the reference resonator's `max_by(total_cmp)`.
+fn argmax_last(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unitary_books(counts: &[usize], nb: usize, bd: usize, seed: u64) -> Vec<Codebook> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        counts
+            .iter()
+            .map(|&c| Codebook::random_unitary(c, nb, bd, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn codebook_scans_are_bit_identical_to_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let book = Codebook::random_unitary(12, 4, 64, &mut rng);
+        let engine = SpectralCodebook::new(book.clone());
+        let noisy = {
+            let mut q = book.codeword(7).clone();
+            use rand::Rng;
+            for x in q.data_mut() {
+                *x += 0.05 * (rng.gen::<f32>() - 0.5);
+            }
+            q
+        };
+        for opts in [KernelOptions::serial(), KernelOptions::with_threads(4)] {
+            assert_eq!(
+                engine.similarities(&noisy, &opts).unwrap(),
+                book.similarities(&noisy).unwrap(),
+                "similarities must be bit-identical"
+            );
+            assert_eq!(
+                engine.cleanup(&noisy, &opts).unwrap(),
+                book.cleanup(&noisy).unwrap()
+            );
+            assert_eq!(
+                engine.match_prob(&noisy, 0.08, &opts).unwrap(),
+                book.match_prob(&noisy, 0.08).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_factorization_matches_reference_two_factors() {
+        let books = unitary_books(&[6, 6], 4, 128, 21);
+        let target = books[0].codeword(1).bind(books[1].codeword(4)).unwrap();
+        let engine = SpectralResonator::new(books.clone(), KernelOptions::auto()).unwrap();
+        assert!(engine.is_spectral());
+        let reference = Resonator::new(books).unwrap();
+        let cfg = ResonatorConfig::default();
+        let fast = engine.factorize(&target, cfg).unwrap();
+        let slow = reference.factorize(&target, cfg).unwrap();
+        assert_eq!(fast.indices, slow.indices);
+        assert_eq!(fast.converged, slow.converged);
+    }
+
+    #[test]
+    fn spectral_factorization_matches_reference_three_factors() {
+        let books = unitary_books(&[5, 5, 5], 4, 128, 22);
+        let target = books[0]
+            .codeword(2)
+            .bind(books[1].codeword(0))
+            .unwrap()
+            .bind(books[2].codeword(3))
+            .unwrap();
+        let engine = SpectralResonator::new(books.clone(), KernelOptions::auto()).unwrap();
+        let reference = Resonator::new(books).unwrap();
+        let cfg = ResonatorConfig::default();
+        let fast = engine.factorize(&target, cfg).unwrap();
+        let slow = reference.factorize(&target, cfg).unwrap();
+        assert_eq!(fast.indices, slow.indices);
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let books = unitary_books(&[8, 8], 2, 256, 23);
+        let target = books[0].codeword(5).bind(books[1].codeword(2)).unwrap();
+        let cfg = ResonatorConfig::default();
+        let baseline = SpectralResonator::new(books.clone(), KernelOptions::serial())
+            .unwrap()
+            .factorize(&target, cfg)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let out = SpectralResonator::new(books.clone(), KernelOptions::with_threads(threads))
+                .unwrap()
+                .factorize(&target, cfg)
+                .unwrap();
+            assert_eq!(out, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_falls_back_to_reference() {
+        let books = unitary_books(&[4, 4], 2, 24, 24); // bd = 24: not a power of two
+        let target = books[0].codeword(1).bind(books[1].codeword(3)).unwrap();
+        let engine = SpectralResonator::new(books.clone(), KernelOptions::auto()).unwrap();
+        assert!(!engine.is_spectral());
+        let out = engine
+            .factorize(&target, ResonatorConfig::default())
+            .unwrap();
+        let slow = Resonator::new(books)
+            .unwrap()
+            .factorize(&target, ResonatorConfig::default())
+            .unwrap();
+        // Fallback IS the reference — identical outcome, bit for bit.
+        assert_eq!(out, slow);
+        assert_eq!(out.indices, vec![1, 3]);
+    }
+
+    #[test]
+    fn factorization_tolerates_noise_like_reference() {
+        let books = unitary_books(&[6, 6], 4, 128, 25);
+        let mut target = books[0].codeword(5).bind(books[1].codeword(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(26);
+        use rand::Rng;
+        for x in target.data_mut() {
+            *x += 0.02 * (rng.gen::<f32>() - 0.5);
+        }
+        let engine = SpectralResonator::new(books, KernelOptions::auto()).unwrap();
+        let out = engine
+            .factorize(&target, ResonatorConfig::default())
+            .unwrap();
+        assert_eq!(out.indices, vec![5, 1]);
+    }
+
+    #[test]
+    fn iteration_cap_and_convergence_flags_match() {
+        let books = unitary_books(&[8, 8], 4, 64, 27);
+        let target = books[0].codeword(0).bind(books[1].codeword(0)).unwrap();
+        let engine = SpectralResonator::new(books, KernelOptions::auto()).unwrap();
+        let cfg = ResonatorConfig {
+            max_iterations: 1,
+            temperature: 0.08,
+        };
+        let out = engine.factorize(&target, cfg).unwrap();
+        assert_eq!(out.iterations, 1);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn geometry_mismatch_is_rejected() {
+        let books = unitary_books(&[4, 4], 2, 32, 28);
+        let engine = SpectralResonator::new(books, KernelOptions::auto()).unwrap();
+        let wrong = BlockCode::zeros(1, 64);
+        assert!(engine
+            .factorize(&wrong, ResonatorConfig::default())
+            .is_err());
+        let book_engine = SpectralCodebook::new(Codebook::random_bipolar(
+            3,
+            2,
+            32,
+            &mut StdRng::seed_from_u64(29),
+        ));
+        assert!(book_engine
+            .similarities(&wrong, &KernelOptions::auto())
+            .is_err());
+    }
+
+    #[test]
+    fn reconstruct_delegates_to_reference() {
+        let books = unitary_books(&[4, 4], 2, 64, 30);
+        let target = books[0].codeword(3).bind(books[1].codeword(2)).unwrap();
+        let engine = SpectralResonator::new(books, KernelOptions::auto()).unwrap();
+        let rebuilt = engine.reconstruct(&[3, 2]).unwrap();
+        assert!(rebuilt.similarity(&target).unwrap() > 0.999);
+        assert!(engine.reconstruct(&[3]).is_err());
+    }
+}

@@ -22,9 +22,12 @@
 //! Tab. IV measures: coarser symbolic precision erodes codebook
 //! similarity margins until factorization or candidate scoring flips.
 
+use nsflow_tensor::par::KernelOptions;
 use nsflow_tensor::quant::{self, QuantParams};
 use nsflow_tensor::DType;
-use nsflow_vsa::resonator::{Resonator, ResonatorConfig};
+use nsflow_vsa::engine::SpectralResonator;
+use nsflow_vsa::fft;
+use nsflow_vsa::resonator::ResonatorConfig;
 use nsflow_vsa::{BlockCode, Codebook};
 use rand::Rng;
 
@@ -58,6 +61,12 @@ pub struct PipelineConfig {
     pub ambiguity_std: f32,
     /// Resonator settings for panel factorization.
     pub resonator: ResonatorConfig,
+    /// Threading knob for the kernel engine (resonator, codebook scans).
+    /// [`KernelOptions::auto`] sizes worker pools to the machine;
+    /// [`KernelOptions::serial`] pins everything to one thread. Results
+    /// are identical either way — the engine's kernels are deterministic
+    /// at every thread count.
+    pub kernels: KernelOptions,
 }
 
 impl Default for PipelineConfig {
@@ -74,6 +83,7 @@ impl Default for PipelineConfig {
                 max_iterations: 12,
                 temperature: 0.08,
             },
+            kernels: KernelOptions::auto(),
         }
     }
 }
@@ -94,10 +104,17 @@ pub struct Solution {
 }
 
 /// The reasoner: per-attribute codebooks plus the factorizer.
+///
+/// All VSA arithmetic runs on the spectral-cached kernel engine
+/// ([`nsflow_vsa::engine`]): factorization through [`SpectralResonator`],
+/// cleanup through the precomputed codeword matrices, binding through the
+/// FFT fast path. The engine is numerically equivalent to the reference
+/// kernels (see the engine module docs for the bounded differences) and
+/// its outputs are independent of [`PipelineConfig::kernels`].
 #[derive(Debug, Clone)]
 pub struct VsaReasoner {
     codebooks: Vec<Codebook>,
-    resonator: Resonator,
+    engine: SpectralResonator,
     values: usize,
     config: PipelineConfig,
 }
@@ -129,11 +146,11 @@ impl VsaReasoner {
                 quantize_codebook(&book, config.symbolic_dtype)
             })
             .collect();
-        let resonator =
-            Resonator::new(codebooks.clone()).expect("codebooks share geometry by construction");
+        let engine = SpectralResonator::new(codebooks.clone(), config.kernels)
+            .expect("codebooks share geometry by construction");
         VsaReasoner {
             codebooks,
-            resonator,
+            engine,
             values,
             config,
         }
@@ -163,7 +180,7 @@ impl VsaReasoner {
             let cw = self.perceived_codeword(book, val, rng);
             acc = Some(match acc {
                 None => cw.clone(),
-                Some(prev) => prev.bind(&cw).expect("geometry fixed at construction"),
+                Some(prev) => fft::bind_fast(&prev, &cw).expect("geometry fixed at construction"),
             });
         }
         let mut code = acc.expect("at least two attributes");
@@ -193,7 +210,7 @@ impl VsaReasoner {
             let cw = book.codeword(val);
             acc = Some(match acc {
                 None => cw.clone(),
-                Some(prev) => prev.bind(cw).expect("geometry fixed at construction"),
+                Some(prev) => fft::bind_fast(&prev, cw).expect("geometry fixed at construction"),
             });
         }
         let mut code = acc.expect("at least two attributes");
@@ -210,7 +227,7 @@ impl VsaReasoner {
         let mut target = panel.clone();
         quantize_code(&mut target, self.config.symbolic_dtype);
         let mut indices = self
-            .resonator
+            .engine
             .factorize(&target, self.config.resonator)
             .expect("geometry fixed at construction")
             .indices;
@@ -360,14 +377,13 @@ impl VsaReasoner {
             let cw = book.codeword(indices[g]);
             others = Some(match others {
                 None => cw.clone(),
-                Some(prev) => prev.bind(cw).expect("geometry fixed"),
+                Some(prev) => fft::bind_fast(&prev, cw).expect("geometry fixed"),
             });
         }
-        let residual = target
-            .unbind(&others.expect("at least two factors"))
+        let residual = fft::unbind_fast(target, &others.expect("at least two factors"))
             .expect("geometry fixed");
-        let best = self.codebooks[a]
-            .cleanup(&residual)
+        let best = self.engine.books()[a]
+            .cleanup(&residual, &self.config.kernels)
             .expect("geometry fixed");
         let changed = best != indices[a];
         indices[a] = best;
@@ -382,7 +398,7 @@ impl VsaReasoner {
             let cw = book.codeword(idx);
             acc = Some(match acc {
                 None => cw.clone(),
-                Some(prev) => prev.bind(cw).expect("geometry fixed"),
+                Some(prev) => fft::bind_fast(&prev, cw).expect("geometry fixed"),
             });
         }
         target
