@@ -5,6 +5,7 @@
 //! them to wall-clock time at the deployment frequency (272 MHz on U250).
 
 use nsflow_graph::DataflowGraph;
+use nsflow_telemetry as telemetry;
 use nsflow_trace::OpKind;
 
 use crate::{simd, ArrayConfig, Mapping, VsaMapping};
@@ -179,6 +180,10 @@ pub fn loop_timing(
     } else {
         (t_nn + t_vsa).max(t_simd)
     };
+    telemetry::counter!("arch.timing_evals").incr();
+    telemetry::counter!("arch.cycles.nn").add(t_nn);
+    telemetry::counter!("arch.cycles.vsa").add(t_vsa);
+    telemetry::counter!("arch.cycles.simd").add(t_simd);
     LoopTiming {
         t_nn,
         t_vsa,

@@ -1,0 +1,93 @@
+//! Performance-regression gate: compares fresh `BENCH_*.json` artifacts
+//! against the committed baselines and exits non-zero on regression.
+//!
+//! ```sh
+//! cargo run --release -p nsflow-bench --bin dse_throughput -- --quick
+//! cargo run --release -p nsflow-bench --bin kernels_throughput -- --quick
+//! cargo run --release -p nsflow-bench --bin bench_gate -- \
+//!     --baseline baselines/ --tolerance 0.5
+//! ```
+//!
+//! Flags:
+//!
+//! - `--baseline <dir>` — directory holding the committed baseline
+//!   artifacts (default `baselines`).
+//! - `--current <dir>` — directory holding the freshly generated
+//!   artifacts (default `.`, where the bench binaries write).
+//! - `--tolerance <f>` — relative slack for throughput metrics; `0.5`
+//!   means a metric may drop to half its baseline before failing.
+//!
+//! Comparison semantics live in [`nsflow_bench::gate`].
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nsflow_bench::gate::{compare_dirs, DEFAULT_TOLERANCE};
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: PathBuf::from("baselines"),
+        current: PathBuf::from("."),
+        tolerance: DEFAULT_TOLERANCE,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--current" => args.current = PathBuf::from(value("--current")?),
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                args.tolerance = raw
+                    .parse::<f64>()
+                    .map_err(|e| format!("--tolerance {raw}: {e}"))?;
+                if !(0.0..1.0).contains(&args.tolerance) {
+                    return Err(format!(
+                        "--tolerance must be in [0, 1), got {}",
+                        args.tolerance
+                    ));
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_gate: {} vs {} (tolerance {})\n",
+        args.baseline.display(),
+        args.current.display(),
+        args.tolerance
+    );
+    match compare_dirs(&args.baseline, &args.current, args.tolerance) {
+        Ok(report) => {
+            print!("{}", report.render_table());
+            if report.passed() {
+                println!("gate: PASS");
+                ExitCode::SUCCESS
+            } else {
+                println!("gate: FAIL");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -158,8 +158,9 @@ fn emit_json(runs: &[Run], threads: usize, quick: bool) {
     let meets = runs
         .last()
         .is_some_and(|r| !quick && r.max_pes == 1 << 14 && best_speedup(r) >= SPEEDUP_TARGET);
-    let _ = writeln!(json, "  \"meets_target\": {meets}");
-    json.push_str("}\n");
+    let _ = writeln!(json, "  \"meets_target\": {meets},");
+    json.push_str(&nsflow_bench::telemetry_json_member());
+    json.push_str("\n}\n");
     std::fs::write("BENCH_dse.json", &json).expect("write BENCH_dse.json");
     println!("[json] wrote BENCH_dse.json (meets_target: {meets})");
 }
@@ -174,6 +175,8 @@ fn best_speedup(run: &Run) -> f64 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // Fresh counters so the embedded snapshot covers exactly this run.
+    nsflow_telemetry::reset();
     let workload = traces::nvsa();
     let graph = DataflowGraph::from_trace(workload.trace);
     let threads = DseOptions::default().effective_threads();
@@ -217,6 +220,19 @@ fn main() {
         "max_pes,points,mode,wall_s,points_per_sec,speedup",
         &rows,
     );
+    if nsflow_telemetry::enabled() {
+        let snapshot = nsflow_telemetry::TelemetrySnapshot::capture();
+        let hits = snapshot.counter("dse.cache_hits");
+        println!(
+            "[telemetry] points={} cache_hits={hits} tables_built={}",
+            snapshot.counter("dse.points_evaluated"),
+            snapshot.counter("dse.tables_built"),
+        );
+        assert!(
+            hits > 0,
+            "cycle-table memoizer recorded zero cache hits — the cached sweep is not caching"
+        );
+    }
     emit_json(&runs, threads, quick);
 
     if !quick {

@@ -287,14 +287,17 @@ fn emit_json(runs: &[Run], threads: usize, quick: bool) {
         json,
         "  \"best_resonator_speedup_dim_ge_1024\": {best_large:.2},"
     );
-    let _ = writeln!(json, "  \"meets_target\": {meets}");
-    json.push_str("}\n");
+    let _ = writeln!(json, "  \"meets_target\": {meets},");
+    json.push_str(&nsflow_bench::telemetry_json_member());
+    json.push_str("\n}\n");
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("[json] wrote BENCH_kernels.json (meets_target: {meets})");
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // Fresh counters so the embedded snapshot covers exactly this run.
+    nsflow_telemetry::reset();
     let threads = available_threads();
     println!("kernel engine throughput — {threads} worker thread(s) available\n");
 
@@ -334,6 +337,20 @@ fn main() {
         "kernel,geometry,dim,mode,wall_s,speedup",
         &rows,
     );
+    if nsflow_telemetry::enabled() {
+        let snapshot = nsflow_telemetry::TelemetrySnapshot::capture();
+        let hits = snapshot.counter("vsa.spectral_cache_hits");
+        println!(
+            "[telemetry] spectral_cache_hits={hits} fft_forward={} fft_inverse={} resonator_iterations={}",
+            snapshot.counter("vsa.fft_forward"),
+            snapshot.counter("vsa.fft_inverse"),
+            snapshot.counter("vsa.resonator_iterations"),
+        );
+        assert!(
+            hits > 0,
+            "spectral engine recorded zero cache hits — the cached-spectra path is not running"
+        );
+    }
     emit_json(&runs, threads, quick);
 
     if !quick {

@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -52,6 +54,20 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     }
     fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("\n[csv] wrote {}", path.display());
+}
+
+/// Renders the current global telemetry snapshot as a `"telemetry": {…}`
+/// JSON object member (indented one level, no trailing comma or
+/// newline), ready to splice into the hand-built `BENCH_*.json`
+/// documents the bench binaries emit. Empty-but-valid when the
+/// `telemetry` feature is off.
+#[must_use]
+pub fn telemetry_json_member() -> String {
+    let mut out = String::from("  \"telemetry\": ");
+    nsflow_telemetry::TelemetrySnapshot::capture()
+        .to_json_value()
+        .write_pretty(&mut out, 1);
+    out
 }
 
 /// Formats a seconds value with an adaptive unit.

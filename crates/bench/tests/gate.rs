@@ -1,0 +1,160 @@
+//! Integration tests for the `bench_gate` regression gate: the binary
+//! must exit zero against the committed baselines and non-zero against
+//! synthetically regressed artifacts.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use nsflow_bench::gate::{compare_dirs, Verdict};
+
+/// The committed baseline directory at the workspace root.
+fn baselines_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines")
+}
+
+/// A scratch directory unique to this test, wiped on creation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nsflow_gate_{}_{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_gate(baseline: &Path, current: &Path, tolerance: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .args([
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--current",
+            current.to_str().unwrap(),
+            "--tolerance",
+            tolerance,
+        ])
+        .output()
+        .expect("spawn bench_gate")
+}
+
+const BASELINE_DOC: &str = r#"{
+  "bench": "dse_throughput",
+  "quick": true,
+  "runs": [
+    {
+      "points": 6277,
+      "cached": { "wall_s": 0.0002, "points_per_sec": 30000000.0, "speedup": 40.0 },
+      "best_speedup": 40.0
+    }
+  ],
+  "meets_target": true,
+  "telemetry": { "counters": { "dse.cache_hits": 2506068 } }
+}
+"#;
+
+fn regressed(speedup: f64, points: u64, meets: bool, hits: u64) -> String {
+    format!(
+        r#"{{
+  "bench": "dse_throughput",
+  "quick": true,
+  "runs": [
+    {{
+      "points": {points},
+      "cached": {{ "wall_s": 0.002, "points_per_sec": 3000000.0, "speedup": {speedup} }},
+      "best_speedup": {speedup}
+    }}
+  ],
+  "meets_target": {meets},
+  "telemetry": {{ "counters": {{ "dse.cache_hits": {hits} }} }}
+}}
+"#
+    )
+}
+
+#[test]
+fn gate_passes_on_committed_baselines() {
+    let baselines = baselines_dir();
+    let out = run_gate(&baselines, &baselines, "0.5");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "gate failed against its own baselines:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("gate: PASS"),
+        "unexpected output:\n{stdout}"
+    );
+}
+
+#[test]
+fn gate_exits_nonzero_on_synthetic_regression() {
+    let base = scratch("base");
+    let cur = scratch("cur");
+    fs::write(base.join("BENCH_dse.json"), BASELINE_DOC).unwrap();
+    // Speedup collapses 40x → 4x: far below the 0.5 tolerance floor.
+    fs::write(cur.join("BENCH_dse.json"), regressed(4.0, 6277, true, 999)).unwrap();
+
+    let out = run_gate(&base, &cur, "0.5");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "gate passed a 10x speedup regression:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("gate: FAIL"),
+        "unexpected output:\n{stdout}"
+    );
+    assert!(stdout.contains("below tolerance floor"));
+}
+
+#[test]
+fn gate_exits_nonzero_when_a_counter_goes_silent() {
+    let base = scratch("cbase");
+    let cur = scratch("ccur");
+    fs::write(base.join("BENCH_dse.json"), BASELINE_DOC).unwrap();
+    fs::write(cur.join("BENCH_dse.json"), regressed(40.0, 6277, true, 0)).unwrap();
+    let out = run_gate(&base, &cur, "0.5");
+    assert!(!out.status.success(), "gate ignored a silent counter");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("counter went silent"));
+}
+
+#[test]
+fn gate_exits_nonzero_on_point_count_drift() {
+    let base = scratch("pbase");
+    let cur = scratch("pcur");
+    fs::write(base.join("BENCH_dse.json"), BASELINE_DOC).unwrap();
+    fs::write(cur.join("BENCH_dse.json"), regressed(40.0, 9999, true, 999)).unwrap();
+    let out = run_gate(&base, &cur, "0.5");
+    assert!(!out.status.success(), "gate ignored a design-space drift");
+}
+
+#[test]
+fn gate_rejects_missing_current_artifact_and_bad_flags() {
+    let base = scratch("mbase");
+    let cur = scratch("mcur");
+    fs::write(base.join("BENCH_dse.json"), BASELINE_DOC).unwrap();
+    // No current artifact at all → the gate cannot render a verdict.
+    let out = run_gate(&base, &cur, "0.5");
+    assert!(!out.status.success());
+
+    let out = run_gate(&base, &base, "1.5");
+    assert!(!out.status.success(), "tolerance ≥ 1 must be rejected");
+}
+
+#[test]
+fn library_comparison_agrees_with_the_binary() {
+    let base = scratch("lbase");
+    let cur = scratch("lcur");
+    fs::write(base.join("BENCH_dse.json"), BASELINE_DOC).unwrap();
+    fs::write(cur.join("BENCH_dse.json"), regressed(4.0, 6277, false, 0)).unwrap();
+    let report = compare_dirs(&base, &cur, 0.5).expect("comparable dirs");
+    assert!(!report.passed());
+    // All three regression kinds surface: throughput, target, liveness.
+    let fails: Vec<&str> = report
+        .rows
+        .iter()
+        .filter(|d| d.verdict == Verdict::Fail)
+        .map(|d| d.path.as_str())
+        .collect();
+    assert!(fails.iter().any(|p| p.ends_with("speedup")));
+    assert!(fails.iter().any(|p| p.ends_with("meets_target")));
+    assert!(fails.iter().any(|p| p.contains("counters")));
+}

@@ -38,6 +38,13 @@ use std::fmt;
 /// can reach it; re-exported here as the framework-level name.
 pub use nsflow_tensor::par;
 
+/// The workspace observability layer: metrics registry, span timers and
+/// deterministic [`telemetry::TelemetrySnapshot`] JSON snapshots.
+/// Recording is gated by the default-on `telemetry` cargo feature and
+/// compiles to no-ops when disabled. Physically hosted in
+/// `nsflow-telemetry`; re-exported here as the framework-level name.
+pub use nsflow_telemetry as telemetry;
+
 use nsflow_arch::memory::{MemoryPlan, TransferModel};
 use nsflow_arch::{analytical, simd, ArrayConfig, Mapping, PrecisionConfig};
 use nsflow_dse::{explore, DseOptions, DseResult};

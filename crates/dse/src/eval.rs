@@ -34,6 +34,8 @@ use std::time::Duration;
 
 pub(crate) use nsflow_tensor::par::parallel_map;
 
+use nsflow_telemetry as telemetry;
+
 use nsflow_arch::analytical::LoopTiming;
 use nsflow_arch::{analytical, ArrayConfig, Mapping};
 use nsflow_graph::DataflowGraph;
@@ -77,6 +79,34 @@ impl SweepStats {
         } else {
             0.0
         }
+    }
+}
+
+/// Publishes a finished sweep's [`SweepStats`] into the global telemetry
+/// registry (counters `dse.points_evaluated` / `dse.cache_hits`, gauge
+/// `dse.threads`, histogram `dse.sweep_wall_us`). Tables built are
+/// counted directly in [`EvalEngine::build_table`] so ad-hoc engine use
+/// is visible too. No-op when the `telemetry` feature is disabled.
+pub fn record_sweep_stats(stats: &SweepStats) {
+    telemetry::counter!("dse.points_evaluated").add(stats.points_evaluated as u64);
+    telemetry::counter!("dse.cache_hits").add(stats.cache_hits as u64);
+    telemetry::gauge!("dse.threads").set(stats.threads as i64);
+    telemetry::histogram!("dse.sweep_wall_us")
+        .record(u64::try_from(stats.wall.as_micros()).unwrap_or(u64::MAX));
+}
+
+/// Records the per-worker chunk sizes a [`parallel_map`] sweep over
+/// `items` work items uses (mirrors the contiguous chunking in
+/// `nsflow_tensor::par`), making thread-pool utilization visible in
+/// snapshots: a lopsided `dse.chunk_items` histogram means idle workers.
+pub(crate) fn record_chunk_utilization(items: usize, threads: usize) {
+    let threads = threads.clamp(1, items.max(1));
+    let chunk = items.div_ceil(threads).max(1);
+    let mut start = 0usize;
+    while start < items {
+        let end = (start + chunk).min(items);
+        telemetry::histogram!("dse.chunk_items").record((end - start) as u64);
+        start = end;
     }
 }
 
@@ -294,6 +324,7 @@ impl EvalEngine {
     #[must_use]
     pub fn build_table(&self, height: usize, width: usize, a_max: usize) -> CycleTable {
         assert!(a_max >= 1, "a_max must be at least 1");
+        telemetry::counter!("dse.tables_built").incr();
         let cfg = ArrayConfig::new(height, width, 1).expect("nonzero geometry");
         let nn_n = self.nn_dims.len();
         let vsa_n = self.vsa_dims.len();

@@ -17,9 +17,12 @@ use std::time::Instant;
 use nsflow_arch::{analytical, ArrayConfig, Mapping};
 use nsflow_graph::DataflowGraph;
 
-use crate::eval::{parallel_map, EvalEngine, SweepStats};
+use crate::eval::{
+    parallel_map, record_chunk_utilization, record_sweep_stats, EvalEngine, SweepStats,
+};
 use crate::phase1::{reduce_outcomes, Candidate, PairOutcome};
 use crate::DseOptions;
+use nsflow_telemetry as telemetry;
 
 /// Outcome of an exhaustive search.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +59,7 @@ pub struct ExhaustiveResult {
 /// Panics if no candidate configuration fits the PE budget.
 #[must_use]
 pub fn exhaustive_uniform(graph: &DataflowGraph, options: &DseOptions) -> ExhaustiveResult {
+    let _span = telemetry::span!("dse.exhaustive");
     let start = Instant::now();
     let trace = graph.trace();
     let nn = trace.nn_nodes().len();
@@ -63,6 +67,7 @@ pub fn exhaustive_uniform(graph: &DataflowGraph, options: &DseOptions) -> Exhaus
     let engine = EvalEngine::new(graph, options.simd_lanes);
     let pairs = unpruned_pairs(options);
     let threads = options.effective_threads();
+    record_chunk_utilization(pairs.len(), threads);
 
     let outcomes = parallel_map(&pairs, threads, |&(h, w, n_max)| {
         let table = engine.build_table(h, w, n_max);
@@ -103,6 +108,7 @@ pub fn exhaustive_uniform(graph: &DataflowGraph, options: &DseOptions) -> Exhaus
     let (best, points, mut stats) = reduce_outcomes(&outcomes);
     stats.threads = threads;
     stats.wall = start.elapsed();
+    record_sweep_stats(&stats);
     let c = best.expect("at least one configuration must fit");
     let config = ArrayConfig::new(c.h, c.w, c.n).expect("nonzero dims");
     let mapping = match c.split {
@@ -137,6 +143,7 @@ pub fn exhaustive_uniform_reference(
     graph: &DataflowGraph,
     options: &DseOptions,
 ) -> ExhaustiveResult {
+    let _span = telemetry::span!("dse.exhaustive_reference");
     let start = Instant::now();
     let trace = graph.trace();
     let nn = trace.nn_nodes().len();
@@ -176,6 +183,7 @@ pub fn exhaustive_uniform_reference(
         wall: start.elapsed(),
         ..SweepStats::default()
     };
+    record_sweep_stats(&result.stats);
     result
 }
 

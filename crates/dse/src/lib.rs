@@ -171,6 +171,7 @@ pub struct DseResult {
 /// budget.
 #[must_use]
 pub fn explore(graph: &DataflowGraph, options: &DseOptions) -> DseResult {
+    let _span = nsflow_telemetry::span!("dse.explore");
     assert!(options.max_pes > 0, "PE budget must be positive");
     assert!(
         !options.heights.is_empty() && !options.widths.is_empty(),

@@ -20,8 +20,11 @@ use std::time::Instant;
 use nsflow_arch::{analytical, ArrayConfig, Mapping};
 use nsflow_graph::DataflowGraph;
 
-use crate::eval::{parallel_map, EvalEngine, SweepStats};
+use crate::eval::{
+    parallel_map, record_chunk_utilization, record_sweep_stats, EvalEngine, SweepStats,
+};
 use crate::DseOptions;
+use nsflow_telemetry as telemetry;
 
 /// Phase-I outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,6 +155,7 @@ fn materialize(
 /// Panics if no candidate `(H, W)` fits the PE budget.
 #[must_use]
 pub fn phase1(graph: &DataflowGraph, options: &DseOptions) -> Phase1Result {
+    let _span = telemetry::span!("dse.phase1");
     let start = Instant::now();
     let trace = graph.trace();
     let nn_count = trace.nn_nodes().len();
@@ -159,6 +163,7 @@ pub fn phase1(graph: &DataflowGraph, options: &DseOptions) -> Phase1Result {
     let engine = EvalEngine::new(graph, options.simd_lanes);
     let pairs = pruned_pairs(options);
     let threads = options.effective_threads();
+    record_chunk_utilization(pairs.len(), threads);
 
     let outcomes = parallel_map(&pairs, threads, |&(h, w, n)| {
         let table = engine.build_table(h, w, n);
@@ -196,6 +201,7 @@ pub fn phase1(graph: &DataflowGraph, options: &DseOptions) -> Phase1Result {
     let (best, points, mut stats) = reduce_outcomes(&outcomes);
     stats.threads = threads;
     stats.wall = start.elapsed();
+    record_sweep_stats(&stats);
     let c = best.expect("at least one candidate configuration must fit the PE budget");
     materialize(graph, options, c, points, stats)
 }
@@ -211,6 +217,7 @@ pub fn phase1(graph: &DataflowGraph, options: &DseOptions) -> Phase1Result {
 /// Panics if no candidate `(H, W)` fits the PE budget.
 #[must_use]
 pub fn phase1_reference(graph: &DataflowGraph, options: &DseOptions) -> Phase1Result {
+    let _span = telemetry::span!("dse.phase1_reference");
     let start = Instant::now();
     let trace = graph.trace();
     let nn_count = trace.nn_nodes().len();
@@ -271,6 +278,7 @@ pub fn phase1_reference(graph: &DataflowGraph, options: &DseOptions) -> Phase1Re
         wall: start.elapsed(),
         ..SweepStats::default()
     };
+    record_sweep_stats(&result.stats);
     result
 }
 

@@ -19,8 +19,9 @@ use std::time::Instant;
 use nsflow_arch::{ArrayConfig, Mapping};
 use nsflow_graph::DataflowGraph;
 
-use crate::eval::{parallel_map, EvalEngine, SweepStats};
+use crate::eval::{parallel_map, record_sweep_stats, EvalEngine, SweepStats};
 use crate::DseOptions;
+use nsflow_telemetry as telemetry;
 
 /// The VSA nodes overlapping NN layer `layer_idx` in depth order: those
 /// whose dependency depth lies in `[depth(layer i), depth(layer i+1))`
@@ -89,6 +90,7 @@ pub fn phase2_with_stats(
     start: &Mapping,
     options: &DseOptions,
 ) -> Phase2Outcome {
+    let _span = telemetry::span!("dse.phase2");
     if !start.parallel || start.n_l.is_empty() || start.n_v.is_empty() {
         return Phase2Outcome {
             mapping: start.clone(),
@@ -197,6 +199,7 @@ pub fn phase2_with_stats(
         }
     }
     stats.wall = began.elapsed();
+    record_sweep_stats(&stats);
     Phase2Outcome {
         mapping: current,
         sweeps,

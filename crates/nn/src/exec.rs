@@ -15,6 +15,7 @@
 //! Weights are owned by [`Parameters`], generated deterministically from a
 //! seed so every experiment is reproducible.
 
+use nsflow_telemetry as telemetry;
 use nsflow_tensor::par::KernelOptions;
 use nsflow_tensor::{Shape, Tensor};
 use rand::Rng;
@@ -139,6 +140,7 @@ pub fn forward_with(
     input: &Tensor,
     options: &KernelOptions,
 ) -> Result<Tensor> {
+    let _span = telemetry::span!("nn.forward");
     if input.shape() != model.input_shape() {
         return Err(NnError::ShapeMismatch {
             layer: "<input>".into(),
@@ -148,6 +150,7 @@ pub fn forward_with(
     }
     let mut x = input.clone();
     for (i, layer) in model.layers().iter().enumerate() {
+        telemetry::counter!("nn.layers_executed").incr();
         x = forward_layer(
             layer.kind(),
             &x,

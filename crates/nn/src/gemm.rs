@@ -15,6 +15,7 @@
 //! the oracles at every thread count — the property the proptests in
 //! `crates/nn/tests/gemm_equivalence.rs` pin down.
 
+use nsflow_telemetry as telemetry;
 use nsflow_tensor::par::KernelOptions;
 
 /// Reduction-dimension tile of the blocked kernel: `K_TILE` rows of `B`
@@ -39,6 +40,8 @@ const PAR_THRESHOLD_FLOPS: usize = 1 << 16;
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A must be m×k");
     assert_eq!(b.len(), k * n, "B must be k×n");
+    telemetry::counter!("nn.gemm_reference_calls").incr();
+    telemetry::counter!("nn.flops_reference").add(2 * (m as u64) * (k as u64) * (n as u64));
     let mut c = vec![0.0f32; m * n];
     for i in 0..m {
         for p in 0..k {
@@ -65,6 +68,8 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 pub fn matvec(a: &[f32], x: &[f32], m: usize, k: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A must be m×k");
     assert_eq!(x.len(), k, "x must have length k");
+    telemetry::counter!("nn.gemm_reference_calls").incr();
+    telemetry::counter!("nn.flops_reference").add(2 * (m as u64) * (k as u64));
     (0..m)
         .map(|i| {
             a[i * k..(i + 1) * k]
@@ -79,7 +84,7 @@ pub fn matvec(a: &[f32], x: &[f32], m: usize, k: usize) -> Vec<f32> {
 /// Blocked, thread-parallel `C = A·B` — bit-identical to [`matmul`].
 ///
 /// Workers own contiguous row blocks of `C`; within a block the reduction
-/// dimension is tiled by [`K_TILE`] so the active `B` panel stays cached.
+/// dimension is tiled by `K_TILE` so the active `B` panel stays cached.
 /// Every `C[i][j]` receives its `a[i][p]·b[p][j]` contributions in the
 /// same ascending-`p` order as the reference (including the reference's
 /// skip of zero `a` entries), so the result does not depend on
@@ -99,6 +104,8 @@ pub fn matmul_fast(
 ) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A must be m×k");
     assert_eq!(b.len(), k * n, "B must be k×n");
+    telemetry::counter!("nn.gemm_fast_calls").incr();
+    telemetry::counter!("nn.flops_fast").add(2 * (m as u64) * (k as u64) * (n as u64));
     let mut c = vec![0.0f32; m * n];
     if m == 0 || n == 0 {
         return c;
@@ -163,8 +170,12 @@ pub fn matvec_fast(a: &[f32], x: &[f32], m: usize, k: usize, options: &KernelOpt
         options.resolve()
     };
     if threads <= 1 {
+        // Small problem: the reference kernel runs (and is counted under
+        // the `nn.*_reference` lanes — those record what executed).
         return matvec(a, x, m, k);
     }
+    telemetry::counter!("nn.gemm_fast_calls").incr();
+    telemetry::counter!("nn.flops_fast").add(2 * (m as u64) * (k as u64));
     let mut y = vec![0.0f32; m];
     let out = &mut y[..];
     let chunk = m.div_ceil(threads);

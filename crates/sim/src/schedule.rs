@@ -14,6 +14,7 @@
 use nsflow_arch::memory::TransferModel;
 use nsflow_arch::{analytical, simd, ArrayConfig, Mapping};
 use nsflow_graph::DataflowGraph;
+use nsflow_telemetry as telemetry;
 use nsflow_trace::{OpId, OpKind};
 
 /// Which execution resource an op occupied.
@@ -139,6 +140,22 @@ impl Schedule {
     }
 }
 
+/// Publishes a finished schedule into the telemetry registry: per-class
+/// busy-cycle counters, the scheduled-op count, and a per-op latency
+/// histogram. No-op when the `telemetry` feature is disabled.
+fn record_schedule(schedule: &Schedule) {
+    telemetry::counter!("sim.ops_scheduled").add(schedule.ops.len() as u64);
+    telemetry::counter!("sim.cycles.nn").add(schedule.busy_nn);
+    telemetry::counter!("sim.cycles.vsa").add(schedule.busy_vsa);
+    telemetry::counter!("sim.cycles.simd").add(schedule.busy_simd);
+    if telemetry::enabled() {
+        let histogram = telemetry::global().histogram("sim.op_cycles");
+        for op in &schedule.ops {
+            histogram.record(op.end - op.start);
+        }
+    }
+}
+
 /// Options for [`run`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOptions {
@@ -171,6 +188,7 @@ pub fn run(
     mapping: &Mapping,
     options: &SimOptions,
 ) -> Schedule {
+    let _span = telemetry::span!("sim.run");
     let trace = graph.trace();
     let nn_nodes = trace.nn_nodes();
     let vsa_nodes = trace.vsa_nodes();
@@ -262,14 +280,16 @@ pub fn run(
         }
     }
 
-    Schedule {
+    let schedule = Schedule {
         ops: scheduled,
         total_cycles: makespan,
         busy_nn: busy.get(&Resource::NnPartition).copied().unwrap_or(0),
         busy_vsa: busy.get(&Resource::VsaPartition).copied().unwrap_or(0),
         busy_simd: busy.get(&Resource::Simd).copied().unwrap_or(0),
         pool_units: 0,
-    }
+    };
+    record_schedule(&schedule);
+    schedule
 }
 
 /// Executes `graph` on the **pooled** AdArray model: the `N` sub-arrays
@@ -294,6 +314,7 @@ pub fn run_pooled(
     mapping: &Mapping,
     options: &SimOptions,
 ) -> Schedule {
+    let _span = telemetry::span!("sim.run_pooled");
     let trace = graph.trace();
     let nn_nodes = trace.nn_nodes();
     let vsa_nodes = trace.vsa_nodes();
@@ -453,14 +474,16 @@ pub fn run_pooled(
     }
 
     scheduled.sort_by_key(|so| (so.start, so.loop_idx, so.op.index()));
-    Schedule {
+    let schedule = Schedule {
         ops: scheduled,
         total_cycles: makespan,
         busy_nn: busy.get(&Resource::NnPartition).copied().unwrap_or(0),
         busy_vsa: busy.get(&Resource::VsaPartition).copied().unwrap_or(0),
         busy_simd: busy.get(&Resource::Simd).copied().unwrap_or(0),
         pool_units: pool,
-    }
+    };
+    record_schedule(&schedule);
+    schedule
 }
 
 #[cfg(test)]

@@ -1,0 +1,186 @@
+//! `nsflow-telemetry`: zero-extra-dependency observability for the
+//! NSFlow workspace (std + `serde` only).
+//!
+//! The crate provides:
+//!
+//! - a thread-safe, process-global metrics [`Registry`] of monotonic
+//!   [`Counter`]s, [`Gauge`]s and log2-bucketed [`Histogram`]s, all
+//!   recorded with relaxed atomics so instrumentation is cheap enough
+//!   for hot kernels;
+//! - hierarchical RAII [`SpanGuard`] timers that nest per thread and
+//!   aggregate under dotted paths (`dse.explore.phase1`);
+//! - a deterministic [`TelemetrySnapshot`] that serializes to stable
+//!   JSON — same state, same bytes — so snapshots embedded in
+//!   `BENCH_*.json` diff cleanly and can be compared by the CI
+//!   regression gate;
+//! - a dependency-free JSON document model ([`JsonValue`]) plus a
+//!   compact serde [`Serializer`](ser::JsonSerializer) used for the
+//!   serde round-trip of snapshots.
+//!
+//! # Recording
+//!
+//! ```
+//! use nsflow_telemetry as telemetry;
+//!
+//! fn hot_loop() {
+//!     let _span = telemetry::span!("docs.hot_loop");
+//!     for i in 0..32u64 {
+//!         telemetry::counter!("docs.iterations").incr();
+//!         telemetry::histogram!("docs.values").record(i);
+//!     }
+//!     telemetry::gauge!("docs.threads").set(4);
+//! }
+//!
+//! hot_loop();
+//! let snapshot = telemetry::TelemetrySnapshot::capture();
+//! if telemetry::enabled() {
+//!     assert_eq!(snapshot.counter("docs.iterations"), 32);
+//! }
+//! ```
+//!
+//! # Feature gating
+//!
+//! The `telemetry` cargo feature (default-on) gates all recording.
+//! When disabled, counters/gauges/histograms/spans are zero-sized
+//! no-ops, [`TelemetrySnapshot::capture`] returns an empty snapshot,
+//! and the macros still compile — callers never need `cfg` guards.
+//! The snapshot/JSON types themselves stay fully functional either
+//! way, so tooling (e.g. the bench gate) can parse snapshots produced
+//! by an instrumented binary even if it was itself built without the
+//! feature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod registry;
+pub mod ser;
+mod snapshot;
+mod span;
+
+pub use json::{JsonError, JsonValue};
+pub use registry::{
+    bucket_index, bucket_lower_bound, global, Counter, Gauge, Histogram, Registry, SpanStat,
+    BUCKETS,
+};
+pub use snapshot::{HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};
+pub use span::SpanGuard;
+
+/// Whether this build records telemetry (the `telemetry` feature).
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Reset every metric in the global registry to zero.
+///
+/// Metric names stay registered; cached handles stay valid. Bench
+/// binaries call this before a measured run so the embedded snapshot
+/// covers exactly that run.
+pub fn reset() {
+    global().reset();
+}
+
+/// Global counter handle by name, cached per call site.
+///
+/// Expands to a `&'static Counter`; the name lookup happens once per
+/// call site (a `OnceLock`'d pointer), so hot loops only pay one
+/// relaxed atomic add per increment.
+#[cfg(feature = "telemetry")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __NSFLOW_TELEMETRY_SITE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *__NSFLOW_TELEMETRY_SITE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Global counter handle by name (no-op: `telemetry` feature is off).
+#[cfg(not(feature = "telemetry"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        let _ = $name;
+        $crate::Counter::noop()
+    }};
+}
+
+/// Global gauge handle by name, cached per call site.
+#[cfg(feature = "telemetry")]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __NSFLOW_TELEMETRY_SITE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__NSFLOW_TELEMETRY_SITE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Global gauge handle by name (no-op: `telemetry` feature is off).
+#[cfg(not(feature = "telemetry"))]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        let _ = $name;
+        $crate::Gauge::noop()
+    }};
+}
+
+/// Global histogram handle by name, cached per call site.
+#[cfg(feature = "telemetry")]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __NSFLOW_TELEMETRY_SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__NSFLOW_TELEMETRY_SITE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// Global histogram handle by name (no-op: `telemetry` feature is off).
+#[cfg(not(feature = "telemetry"))]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        let _ = $name;
+        $crate::Histogram::noop()
+    }};
+}
+
+/// Open a hierarchical RAII span timer.
+///
+/// Bind the result (`let _span = span!("dse.phase1");`) — the timing
+/// is recorded when the guard drops. Spans opened while another span
+/// guard is live on the same thread aggregate under the joined dotted
+/// path.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as telemetry;
+
+    #[test]
+    fn macros_record_into_the_global_registry() {
+        telemetry::counter!("lib_test.count").add(2);
+        telemetry::counter!("lib_test.count").incr();
+        telemetry::gauge!("lib_test.gauge").set(7);
+        telemetry::histogram!("lib_test.hist").record(100);
+        {
+            let _span = telemetry::span!("lib_test.span");
+        }
+        let snapshot = telemetry::TelemetrySnapshot::capture();
+        if telemetry::enabled() {
+            assert!(snapshot.counter("lib_test.count") >= 3);
+            assert_eq!(snapshot.gauges.get("lib_test.gauge"), Some(&7));
+            assert!(snapshot.histograms.get("lib_test.hist").unwrap().count >= 1);
+            assert!(snapshot.spans.get("lib_test.span").unwrap().count >= 1);
+        } else {
+            assert!(snapshot.is_empty());
+        }
+    }
+}

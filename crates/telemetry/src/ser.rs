@@ -1,0 +1,559 @@
+//! `serde` integration: manual `Serialize` impls for the snapshot
+//! types plus a compact JSON [`serde::Serializer`] so snapshots can be
+//! serialized through serde without pulling in `serde_json`.
+//!
+//! The serde rendering of a [`TelemetrySnapshot`] is byte-identical to
+//! [`TelemetrySnapshot::to_json_compact`], which is what makes the
+//! round-trip property (`serde` → [`JsonValue::parse`] →
+//! [`TelemetrySnapshot::from_json_value`]) exact.
+
+use crate::json::{escape_into, JsonValue};
+use crate::snapshot::{HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};
+use serde::ser::{
+    Error as _, Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant,
+    SerializeTuple, SerializeTupleStruct, SerializeTupleVariant, Serializer,
+};
+use std::fmt;
+
+/// Error produced by [`JsonSerializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError {
+    message: String,
+}
+
+impl SerError {
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialize error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl serde::ser::Error for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self {
+            message: msg.to_string(),
+        }
+    }
+}
+
+/// Serialize any `serde::Serialize` value to compact JSON text.
+pub fn to_json_string<T>(value: &T) -> Result<String, SerError>
+where
+    T: ?Sized + Serialize,
+{
+    let mut out = String::new();
+    value.serialize(JsonSerializer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Compact JSON `serde::Serializer` writing into a `String`.
+///
+/// Map keys must serialize to JSON scalars; non-string scalar keys are
+/// quoted (JSON object keys are always strings).
+#[derive(Debug)]
+pub struct JsonSerializer<'a> {
+    out: &'a mut String,
+}
+
+/// In-progress JSON array.
+#[derive(Debug)]
+pub struct JsonSeqSerializer<'a> {
+    out: &'a mut String,
+    first: bool,
+    /// Closing text appended by `end` (`]` or `]}` for variants).
+    close: &'static str,
+}
+
+/// In-progress JSON object.
+#[derive(Debug)]
+pub struct JsonMapSerializer<'a> {
+    out: &'a mut String,
+    first: bool,
+    /// Closing text appended by `end` (`}` or `}}` for variants).
+    close: &'static str,
+}
+
+impl JsonSeqSerializer<'_> {
+    fn element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerError> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn finish(self) -> Result<(), SerError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl JsonMapSerializer<'_> {
+    fn key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), SerError> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        let mut rendered = String::new();
+        key.serialize(JsonSerializer { out: &mut rendered })?;
+        if rendered.starts_with('"') {
+            self.out.push_str(&rendered);
+        } else if rendered.starts_with(['{', '[']) {
+            return Err(SerError::custom("JSON object keys must be scalars"));
+        } else {
+            // Numeric/bool key: quote it.
+            self.out.push('"');
+            self.out.push_str(&rendered);
+            self.out.push('"');
+        }
+        self.out.push(':');
+        Ok(())
+    }
+
+    fn value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerError> {
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn static_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        escape_into(self.out, key);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn finish(self) -> Result<(), SerError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = SerError;
+    type SerializeSeq = JsonSeqSerializer<'a>;
+    type SerializeTuple = JsonSeqSerializer<'a>;
+    type SerializeTupleStruct = JsonSeqSerializer<'a>;
+    type SerializeTupleVariant = JsonSeqSerializer<'a>;
+    type SerializeMap = JsonMapSerializer<'a>;
+    type SerializeStruct = JsonMapSerializer<'a>;
+    type SerializeStructVariant = JsonMapSerializer<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), SerError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), SerError> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), SerError> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), SerError> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), SerError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), SerError> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), SerError> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), SerError> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), SerError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), SerError> {
+        self.serialize_f64(f64::from(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), SerError> {
+        JsonValue::Float(v).write_compact(self.out);
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), SerError> {
+        escape_into(self.out, v.encode_utf8(&mut [0u8; 4]));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), SerError> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), SerError> {
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for byte in v {
+            SerializeSeq::serialize_element(&mut seq, byte)?;
+        }
+        SerializeSeq::end(seq)
+    }
+
+    fn serialize_none(self) -> Result<(), SerError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), SerError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), SerError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), SerError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), SerError> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeqSerializer<'a>, SerError> {
+        self.out.push('[');
+        Ok(JsonSeqSerializer {
+            out: self.out,
+            first: true,
+            close: "]",
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<JsonSeqSerializer<'a>, SerError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<JsonSeqSerializer<'a>, SerError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<JsonSeqSerializer<'a>, SerError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":[");
+        Ok(JsonSeqSerializer {
+            out: self.out,
+            first: true,
+            close: "]}",
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<JsonMapSerializer<'a>, SerError> {
+        self.out.push('{');
+        Ok(JsonMapSerializer {
+            out: self.out,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<JsonMapSerializer<'a>, SerError> {
+        self.serialize_map(Some(len))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<JsonMapSerializer<'a>, SerError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":{");
+        Ok(JsonMapSerializer {
+            out: self.out,
+            first: true,
+            close: "}}",
+        })
+    }
+}
+
+impl SerializeSeq for JsonSeqSerializer<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerError> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.finish()
+    }
+}
+
+impl SerializeTuple for JsonSeqSerializer<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerError> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.finish()
+    }
+}
+
+impl SerializeTupleStruct for JsonSeqSerializer<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerError> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.finish()
+    }
+}
+
+impl SerializeTupleVariant for JsonSeqSerializer<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerError> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.finish()
+    }
+}
+
+impl SerializeMap for JsonMapSerializer<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), SerError> {
+        self.key(key)
+    }
+
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerError> {
+        self.value(value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for JsonMapSerializer<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        self.static_field(key, value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.finish()
+    }
+}
+
+impl SerializeStructVariant for JsonMapSerializer<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        self.static_field(key, value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.finish()
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut state = serializer.serialize_struct("HistogramSnapshot", 5)?;
+        state.serialize_field("count", &self.count)?;
+        state.serialize_field("sum", &self.sum)?;
+        state.serialize_field("min", &self.min)?;
+        state.serialize_field("max", &self.max)?;
+        state.serialize_field("buckets", &self.buckets)?;
+        state.end()
+    }
+}
+
+impl Serialize for SpanSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut state = serializer.serialize_struct("SpanSnapshot", 3)?;
+        state.serialize_field("count", &self.count)?;
+        state.serialize_field("total_ns", &self.total_ns)?;
+        state.serialize_field("max_ns", &self.max_ns)?;
+        state.end()
+    }
+}
+
+impl Serialize for TelemetrySnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut state = serializer.serialize_struct("TelemetrySnapshot", 4)?;
+        state.serialize_field("counters", &self.counters)?;
+        state.serialize_field("gauges", &self.gauges)?;
+        state.serialize_field("histograms", &self.histograms)?;
+        state.serialize_field("spans", &self.spans)?;
+        state.end()
+    }
+}
+
+impl Serialize for JsonValue {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            JsonValue::Null => serializer.serialize_unit(),
+            JsonValue::Bool(b) => serializer.serialize_bool(*b),
+            JsonValue::UInt(v) => serializer.serialize_u64(*v),
+            JsonValue::Int(v) => serializer.serialize_i64(*v),
+            JsonValue::Float(v) => serializer.serialize_f64(*v),
+            JsonValue::Str(s) => serializer.serialize_str(s),
+            JsonValue::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            JsonValue::Object(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (key, value) in entries {
+                    map.serialize_entry(key, value)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::TelemetrySnapshot;
+
+    #[test]
+    fn serde_output_matches_native_compact_rendering() {
+        let mut snapshot = TelemetrySnapshot::default();
+        snapshot.counters.insert("a".to_string(), 1);
+        snapshot.counters.insert("b".to_string(), u64::MAX);
+        snapshot.gauges.insert("g".to_string(), -4);
+        snapshot.histograms.insert(
+            "h".to_string(),
+            HistogramSnapshot {
+                count: 1,
+                sum: 3,
+                min: 3,
+                max: 3,
+                buckets: vec![(2, 1)],
+            },
+        );
+        snapshot.spans.insert(
+            "s.x".to_string(),
+            SpanSnapshot {
+                count: 1,
+                total_ns: 9,
+                max_ns: 9,
+            },
+        );
+        let via_serde = to_json_string(&snapshot).unwrap();
+        assert_eq!(via_serde, snapshot.to_json_compact());
+        assert_eq!(TelemetrySnapshot::from_json(&via_serde).unwrap(), snapshot);
+    }
+
+    #[test]
+    fn serializer_handles_scalars_and_strings() {
+        assert_eq!(to_json_string(&true).unwrap(), "true");
+        assert_eq!(to_json_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_json_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_json_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(to_json_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_json_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_json_string(&(1u8, "x")).unwrap(), r#"[1,"x"]"#);
+    }
+
+    #[test]
+    fn json_value_serializes_through_serde_identically() {
+        let text = r#"{"a":[1,-2,2.5,null,true],"b":{"c":"d"}}"#;
+        let value = JsonValue::parse(text).unwrap();
+        assert_eq!(to_json_string(&value).unwrap(), text);
+    }
+}

@@ -1,0 +1,322 @@
+//! Point-in-time, deterministically ordered copies of the registry.
+
+use crate::json::{JsonError, JsonValue};
+use std::collections::BTreeMap;
+
+/// Copy of one histogram's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wraps on overflow).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty log2 buckets as `(bucket_index, sample_count)` pairs,
+    /// sorted by index; see [`crate::bucket_index`].
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Copy of one span aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total time across all spans, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Deterministic snapshot of every registered metric.
+///
+/// All maps are `BTreeMap`s keyed by metric name, so iteration — and
+/// therefore every JSON rendering — is stable across runs and diffs
+/// cleanly in CI.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span aggregates by dotted path.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Snapshot the global registry.
+    pub fn capture() -> Self {
+        crate::global().snapshot()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convert to a JSON document model.
+    pub fn to_json_value(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), JsonValue::UInt(*value)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, value)| {
+                let json = if *value >= 0 {
+                    JsonValue::UInt(*value as u64)
+                } else {
+                    JsonValue::Int(*value)
+                };
+                (name.clone(), json)
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|(index, count)| {
+                        JsonValue::Array(vec![
+                            JsonValue::UInt(u64::from(*index)),
+                            JsonValue::UInt(*count),
+                        ])
+                    })
+                    .collect();
+                let obj = JsonValue::Object(vec![
+                    ("count".to_string(), JsonValue::UInt(h.count)),
+                    ("sum".to_string(), JsonValue::UInt(h.sum)),
+                    ("min".to_string(), JsonValue::UInt(h.min)),
+                    ("max".to_string(), JsonValue::UInt(h.max)),
+                    ("buckets".to_string(), JsonValue::Array(buckets)),
+                ]);
+                (name.clone(), obj)
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                let obj = JsonValue::Object(vec![
+                    ("count".to_string(), JsonValue::UInt(s.count)),
+                    ("total_ns".to_string(), JsonValue::UInt(s.total_ns)),
+                    ("max_ns".to_string(), JsonValue::UInt(s.max_ns)),
+                ]);
+                (name.clone(), obj)
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("counters".to_string(), JsonValue::Object(counters)),
+            ("gauges".to_string(), JsonValue::Object(gauges)),
+            ("histograms".to_string(), JsonValue::Object(histograms)),
+            ("spans".to_string(), JsonValue::Object(spans)),
+        ])
+    }
+
+    /// Render as pretty-printed deterministic JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render_pretty()
+    }
+
+    /// Render as compact deterministic JSON.
+    pub fn to_json_compact(&self) -> String {
+        self.to_json_value().render_compact()
+    }
+
+    /// Parse a snapshot back from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// Decode a snapshot from a parsed JSON document.
+    ///
+    /// The four sections are each optional (missing means empty);
+    /// values of the wrong type are an error.
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        if value.as_object().is_none() {
+            return Err(JsonError::new("snapshot must be a JSON object"));
+        }
+        let mut snapshot = TelemetrySnapshot::default();
+        if let Some(counters) = value.get("counters") {
+            for (name, v) in expect_object(counters, "counters")? {
+                let v = v.as_u64().ok_or_else(|| bad_field("counter", name))?;
+                snapshot.counters.insert(name.clone(), v);
+            }
+        }
+        if let Some(gauges) = value.get("gauges") {
+            for (name, v) in expect_object(gauges, "gauges")? {
+                let v = v.as_i64().ok_or_else(|| bad_field("gauge", name))?;
+                snapshot.gauges.insert(name.clone(), v);
+            }
+        }
+        if let Some(histograms) = value.get("histograms") {
+            for (name, v) in expect_object(histograms, "histograms")? {
+                snapshot
+                    .histograms
+                    .insert(name.clone(), decode_histogram(name, v)?);
+            }
+        }
+        if let Some(spans) = value.get("spans") {
+            for (name, v) in expect_object(spans, "spans")? {
+                let span = SpanSnapshot {
+                    count: field_u64(v, "count").ok_or_else(|| bad_field("span", name))?,
+                    total_ns: field_u64(v, "total_ns").ok_or_else(|| bad_field("span", name))?,
+                    max_ns: field_u64(v, "max_ns").ok_or_else(|| bad_field("span", name))?,
+                };
+                snapshot.spans.insert(name.clone(), span);
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+fn expect_object<'a>(
+    value: &'a JsonValue,
+    section: &str,
+) -> Result<&'a [(String, JsonValue)], JsonError> {
+    value
+        .as_object()
+        .ok_or_else(|| JsonError::new(format!("snapshot section '{section}' must be an object")))
+}
+
+fn bad_field(kind: &str, name: &str) -> JsonError {
+    JsonError::new(format!("malformed {kind} entry '{name}'"))
+}
+
+fn field_u64(value: &JsonValue, key: &str) -> Option<u64> {
+    value.get(key).and_then(JsonValue::as_u64)
+}
+
+fn decode_histogram(name: &str, value: &JsonValue) -> Result<HistogramSnapshot, JsonError> {
+    let mut buckets = Vec::new();
+    for pair in value
+        .get("buckets")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| bad_field("histogram", name))?
+    {
+        let pair = pair
+            .as_array()
+            .ok_or_else(|| bad_field("histogram", name))?;
+        if pair.len() != 2 {
+            return Err(bad_field("histogram", name));
+        }
+        let index = pair[0]
+            .as_u64()
+            .and_then(|i| u8::try_from(i).ok())
+            .ok_or_else(|| bad_field("histogram", name))?;
+        let count = pair[1]
+            .as_u64()
+            .ok_or_else(|| bad_field("histogram", name))?;
+        buckets.push((index, count));
+    }
+    Ok(HistogramSnapshot {
+        count: field_u64(value, "count").ok_or_else(|| bad_field("histogram", name))?,
+        sum: field_u64(value, "sum").ok_or_else(|| bad_field("histogram", name))?,
+        min: field_u64(value, "min").ok_or_else(|| bad_field("histogram", name))?,
+        max: field_u64(value, "max").ok_or_else(|| bad_field("histogram", name))?,
+        buckets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut snapshot = TelemetrySnapshot::default();
+        snapshot.counters.insert("dse.cache_hits".to_string(), 42);
+        snapshot
+            .counters
+            .insert("vsa.fft_forward".to_string(), u64::MAX);
+        snapshot.gauges.insert("dse.threads".to_string(), -8);
+        snapshot.histograms.insert(
+            "dse.chunk".to_string(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 12,
+                min: 1,
+                max: 9,
+                buckets: vec![(1, 1), (2, 1), (4, 1)],
+            },
+        );
+        snapshot.spans.insert(
+            "dse.explore.phase1".to_string(),
+            SpanSnapshot {
+                count: 2,
+                total_ns: 5_000,
+                max_ns: 4_000,
+            },
+        );
+        snapshot
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snapshot = sample();
+        assert_eq!(
+            TelemetrySnapshot::from_json(&snapshot.to_json()).unwrap(),
+            snapshot
+        );
+        assert_eq!(
+            TelemetrySnapshot::from_json(&snapshot.to_json_compact()).unwrap(),
+            snapshot
+        );
+    }
+
+    #[test]
+    fn json_output_is_deterministic() {
+        let snapshot = sample();
+        assert_eq!(snapshot.to_json(), snapshot.to_json(), "stable bytes");
+        // Sections appear in fixed order, metric names sorted.
+        let compact = snapshot.to_json_compact();
+        let counters_at = compact.find("\"counters\"").unwrap();
+        let gauges_at = compact.find("\"gauges\"").unwrap();
+        let histograms_at = compact.find("\"histograms\"").unwrap();
+        let spans_at = compact.find("\"spans\"").unwrap();
+        assert!(counters_at < gauges_at && gauges_at < histograms_at && histograms_at < spans_at);
+        assert!(compact.find("dse.cache_hits").unwrap() < compact.find("vsa.fft_forward").unwrap());
+    }
+
+    #[test]
+    fn empty_sections_are_optional_on_decode() {
+        let decoded = TelemetrySnapshot::from_json("{}").unwrap();
+        assert!(decoded.is_empty());
+        assert!(TelemetrySnapshot::from_json("[]").is_err());
+        assert!(TelemetrySnapshot::from_json(r#"{"counters":{"x":-1}}"#).is_err());
+        assert!(TelemetrySnapshot::from_json(r#"{"counters":3}"#).is_err());
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let snapshot = sample();
+        assert_eq!(snapshot.counter("dse.cache_hits"), 42);
+        assert_eq!(snapshot.counter("missing"), 0);
+    }
+}

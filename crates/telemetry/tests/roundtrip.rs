@@ -1,0 +1,88 @@
+//! Property test: `TelemetrySnapshot` survives a serde JSON round-trip
+//! unchanged, and the serde rendering matches the native writer.
+
+use nsflow_telemetry::{
+    ser::to_json_string, HistogramSnapshot, JsonValue, SpanSnapshot, TelemetrySnapshot, BUCKETS,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Alphabet for metric names; exercises JSON escaping (quote,
+/// backslash, control char) and non-ASCII, not just identifiers.
+const NAME_CHARS: [char; 10] = ['a', 'z', '.', '_', '0', '"', '\\', '\n', '\t', '\u{1f600}'];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..NAME_CHARS.len(), 1..12)
+        .prop_map(|picks| picks.into_iter().map(|i| NAME_CHARS[i]).collect())
+}
+
+/// Full-range u64 including an explicit shot at `u64::MAX`.
+fn arb_u64() -> impl Strategy<Value = u64> {
+    (0..u64::MAX, 0..16u32).prop_map(|(v, pick)| if pick == 0 { u64::MAX } else { v })
+}
+
+fn arb_i64() -> impl Strategy<Value = i64> {
+    (i64::MIN..i64::MAX, 0..16u32).prop_map(|(v, pick)| if pick == 0 { i64::MAX } else { v })
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        arb_u64(),
+        arb_u64(),
+        arb_u64(),
+        arb_u64(),
+        proptest::collection::vec((0..BUCKETS, arb_u64()), 0..6),
+    )
+        .prop_map(|(count, sum, min, max, pairs)| {
+            let dedup: BTreeMap<u8, u64> = pairs.into_iter().map(|(i, n)| (i as u8, n)).collect();
+            HistogramSnapshot {
+                count,
+                sum,
+                min,
+                max,
+                buckets: dedup.into_iter().collect(),
+            }
+        })
+}
+
+fn arb_span() -> impl Strategy<Value = SpanSnapshot> {
+    (arb_u64(), arb_u64(), arb_u64()).prop_map(|(count, total_ns, max_ns)| SpanSnapshot {
+        count,
+        total_ns,
+        max_ns,
+    })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = TelemetrySnapshot> {
+    (
+        proptest::collection::vec((arb_name(), arb_u64()), 0..8),
+        proptest::collection::vec((arb_name(), arb_i64()), 0..8),
+        proptest::collection::vec((arb_name(), arb_histogram()), 0..4),
+        proptest::collection::vec((arb_name(), arb_span()), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms, spans)| TelemetrySnapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+            spans: spans.into_iter().collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn snapshot_round_trips_through_serde_json(snapshot in arb_snapshot()) {
+        let via_serde = to_json_string(&snapshot).unwrap();
+        // serde rendering is byte-identical to the native compact writer…
+        prop_assert_eq!(&via_serde, &snapshot.to_json_compact());
+        // …and decodes back to the identical snapshot, from both writers.
+        prop_assert_eq!(&TelemetrySnapshot::from_json(&via_serde).unwrap(), &snapshot);
+        prop_assert_eq!(&TelemetrySnapshot::from_json(&snapshot.to_json()).unwrap(), &snapshot);
+    }
+
+    #[test]
+    fn json_documents_round_trip_through_parser(snapshot in arb_snapshot()) {
+        let value = snapshot.to_json_value();
+        prop_assert_eq!(&JsonValue::parse(&value.render_compact()).unwrap(), &value);
+        prop_assert_eq!(&JsonValue::parse(&value.render_pretty()).unwrap(), &value);
+    }
+}

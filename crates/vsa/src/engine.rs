@@ -64,6 +64,7 @@
 //! the reference accepts.
 
 use nsflow_nn::gemm;
+use nsflow_telemetry as telemetry;
 use nsflow_tensor::par::KernelOptions;
 
 use crate::fft::{self, Complex, FftPlan};
@@ -337,7 +338,9 @@ impl SpectralResonator {
     /// Propagates geometry errors if `target` disagrees with the
     /// codebooks.
     pub fn factorize(&self, target: &BlockCode, config: ResonatorConfig) -> Result<Factorization> {
+        let _span = telemetry::span!("vsa.factorize");
         if !self.is_spectral() {
+            telemetry::counter!("vsa.resonator_fallbacks").incr();
             return self.reference.factorize(target, config);
         }
         // Geometry check against factor 0 (all factors agree by
@@ -358,6 +361,9 @@ impl SpectralResonator {
             .iter()
             .map(|book| {
                 let spectra = book.spectra.as_ref().expect("spectral path checked above");
+                // Every cached spectrum consumed here replaces a forward
+                // FFT the reference path would have to run.
+                telemetry::counter!("vsa.spectral_cache_hits").add(spectra.len() as u64);
                 let mut acc = vec![Complex::ZERO; dim];
                 for spec in spectra {
                     for (a, s) in acc.iter_mut().zip(spec) {
@@ -404,6 +410,7 @@ impl SpectralResonator {
                 // assembled directly in the spectral domain from the
                 // cached codeword spectra — no forward FFT.
                 let spectra = book.spectra.as_ref().expect("spectral path checked above");
+                telemetry::counter!("vsa.spectral_cache_hits").add(spectra.len() as u64);
                 let acc = &mut est_spec[f];
                 acc.fill(Complex::ZERO);
                 for (&p, spec) in probs.iter().zip(spectra) {
@@ -419,6 +426,7 @@ impl SpectralResonator {
                 }
             }
             if !changed && iterations > 1 {
+                telemetry::counter!("vsa.resonator_iterations").add(iterations as u64);
                 return Ok(Factorization {
                     indices,
                     iterations,
@@ -426,6 +434,7 @@ impl SpectralResonator {
                 });
             }
         }
+        telemetry::counter!("vsa.resonator_iterations").add(iterations as u64);
         Ok(Factorization {
             indices,
             iterations,

@@ -9,7 +9,7 @@
 //!
 //! # Twiddle tables
 //!
-//! Butterfly twiddles are precomputed per stage into an [`FftPlan`]
+//! Butterfly twiddles are precomputed per stage into an `FftPlan`
 //! (`w_k = exp(−i·2πk/len)` evaluated directly per index) instead of the
 //! seed's running product `w ← w·w_len`, which accumulated one rounding
 //! error per butterfly and drifted measurably by `d = 4096`. Plans are
@@ -32,6 +32,8 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+
+use nsflow_telemetry as telemetry;
 
 use crate::{ops, BlockCode, Result};
 
@@ -192,6 +194,7 @@ impl FftPlan {
     /// Forward transform of a real signal.
     pub(crate) fn forward_real(&self, x: &[f32]) -> Vec<Complex> {
         debug_assert_eq!(x.len(), self.n);
+        telemetry::counter!("vsa.fft_forward").incr();
         let mut data: Vec<Complex> = x
             .iter()
             .map(|&v| Complex {
@@ -206,6 +209,7 @@ impl FftPlan {
     /// Inverse transform returning only the real parts (the signals here
     /// are real by construction; imaginary residue is rounding noise).
     pub(crate) fn inverse_real(&self, mut data: Vec<Complex>) -> Vec<f32> {
+        telemetry::counter!("vsa.fft_inverse").incr();
         self.inverse(&mut data);
         data.into_iter().map(|c| c.re as f32).collect()
     }
@@ -254,8 +258,10 @@ pub fn circular_convolve_fast(a: &[f32], b: &[f32]) -> Vec<f32> {
     let n = a.len();
     assert_eq!(b.len(), n, "operand lengths must match");
     if !fast_path_applies(n) {
+        telemetry::counter!("vsa.kernel_fallbacks").incr();
         return ops::circular_convolve(a, b);
     }
+    telemetry::counter!("vsa.kernel_fast").incr();
     let plan = plan(n);
     let mut fa = plan.forward_real(a);
     let fb = plan.forward_real(b);
@@ -278,8 +284,10 @@ pub fn circular_correlate_fast(a: &[f32], b: &[f32]) -> Vec<f32> {
     let n = a.len();
     assert_eq!(b.len(), n, "operand lengths must match");
     if !fast_path_applies(n) {
+        telemetry::counter!("vsa.kernel_fallbacks").incr();
         return ops::circular_correlate(a, b);
     }
+    telemetry::counter!("vsa.kernel_fast").incr();
     let plan = plan(n);
     let mut fa = plan.forward_real(a);
     let fb = plan.forward_real(b);

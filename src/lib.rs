@@ -46,6 +46,7 @@ pub use nsflow_fpga as fpga;
 pub use nsflow_graph as graph;
 pub use nsflow_nn as nn;
 pub use nsflow_sim as sim;
+pub use nsflow_telemetry as telemetry;
 pub use nsflow_tensor as tensor;
 pub use nsflow_trace as trace;
 pub use nsflow_vsa as vsa;
