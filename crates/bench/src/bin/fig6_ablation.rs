@@ -16,16 +16,22 @@
 //! cargo run --release -p nsflow-bench --bin fig6_ablation
 //! ```
 
-use nsflow_arch::{analytical, ArrayConfig, Mapping};
+use nsflow_arch::{analytical, ArrayConfig};
 
-use nsflow_bench::write_csv;
-use nsflow_dse::{phase2, DseOptions};
+use nsflow_bench::{mapping, write_csv};
 use nsflow_graph::DataflowGraph;
-use nsflow_sim::schedule::{self, SimOptions};
+use nsflow_sim::schedule::SimOptions;
 use nsflow_trace::{ExecutionTrace, OpKind};
 use nsflow_workloads::traces;
 
-const SIMD_LANES: usize = 64;
+/// Scheduler options shared by every variant (no transfer stalls in the
+/// Fig. 6 comparison; both designs double-buffer identically).
+fn sim_options() -> SimOptions {
+    SimOptions {
+        simd_lanes: 64,
+        transfer: None,
+    }
+}
 
 /// Cycles on the "normal TPU design": the same 8192 PEs permanently
 /// merged into one weight-stationary array — no folding, no
@@ -52,85 +58,6 @@ fn traditional_sa_cycles(trace: &ExecutionTrace, cfg: &ArrayConfig) -> u64 {
     per_loop * trace.loop_count() as u64
 }
 
-/// Best static (Phase-I style) mapping of the fixed AdArray, selected by
-/// *scheduled* cycles (the pipelined steady state is what folding buys;
-/// Algorithm 1's analytical comparison is a lower-cost proxy for it).
-fn best_static_mapping(graph: &DataflowGraph, cfg: &ArrayConfig) -> Mapping {
-    let nn = graph.trace().nn_nodes().len();
-    let vsa = graph.trace().vsa_nodes().len();
-    let n = cfg.n_subarrays();
-    let mut best = Mapping::sequential(nn, vsa, n);
-    let mut best_t = scheduled_cycles(graph, cfg, &best);
-    if nn > 0 && vsa > 0 {
-        for nl in 1..n {
-            let m = Mapping::uniform(nn, vsa, nl, n - nl);
-            let t = scheduled_cycles(graph, cfg, &m);
-            if t < best_t {
-                best_t = t;
-                best = m;
-            }
-        }
-    }
-    best
-}
-
-fn scheduled_cycles(graph: &DataflowGraph, cfg: &ArrayConfig, mapping: &Mapping) -> u64 {
-    schedule::run_pooled(
-        graph,
-        cfg,
-        mapping,
-        &SimOptions {
-            simd_lanes: SIMD_LANES,
-            transfer: None,
-        },
-    )
-    .total_cycles()
-}
-
-/// Phase-II-style per-node refinement evaluated against the pooled
-/// scheduler: greedily adjust each node's sub-array allocation by ±1 and
-/// keep any move that shortens the schedule.
-fn refine_per_node(graph: &DataflowGraph, cfg: &ArrayConfig, start: &Mapping) -> Mapping {
-    let n = cfg.n_subarrays();
-    let mut best = start.clone();
-    let mut best_t = scheduled_cycles(graph, cfg, &best);
-    for _sweep in 0..6 {
-        let mut improved = false;
-        for field in 0..2 {
-            let len = if field == 0 {
-                best.n_l.len()
-            } else {
-                best.n_v.len()
-            };
-            for i in 0..len {
-                for delta in [1i64, -1] {
-                    let mut cand = best.clone();
-                    let slot = if field == 0 {
-                        &mut cand.n_l[i]
-                    } else {
-                        &mut cand.n_v[i]
-                    };
-                    let new = *slot as i64 + delta;
-                    if new < 1 || new > n as i64 {
-                        continue;
-                    }
-                    *slot = new as usize;
-                    let t = scheduled_cycles(graph, cfg, &cand);
-                    if t < best_t {
-                        best_t = t;
-                        best = cand;
-                        improved = true;
-                    }
-                }
-            }
-        }
-        if !improved {
-            break;
-        }
-    }
-    best
-}
-
 fn main() {
     let cfg = ArrayConfig::new(32, 32, 8).expect("the paper's fig. 6 architecture");
     let ratios = [0.005, 0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8];
@@ -146,25 +73,15 @@ fn main() {
         let (trace, achieved) = traces::nvsa_like_with_symbolic_ratio(ratio);
         let baseline = traditional_sa_cycles(&trace, &cfg);
         let graph = DataflowGraph::from_trace(trace);
+        let opts = sim_options();
 
-        let static_mapping = best_static_mapping(&graph, &cfg);
-        let p1_cycles = scheduled_cycles(&graph, &cfg, &static_mapping);
+        let static_mapping = mapping::best_static_mapping(&graph, &cfg, &opts);
+        let p1_cycles = mapping::scheduled_cycles(&graph, &cfg, &static_mapping, &opts);
 
-        // Phase II: start from the analytical refinement (Algorithm 1),
-        // then the per-node pooled-objective polish.
-        let opts = DseOptions {
-            iter_max: 16,
-            simd_lanes: SIMD_LANES,
-            ..DseOptions::default()
-        };
-        let (alg1, _) = phase2(&graph, &cfg, &static_mapping, &opts);
-        let seed = if scheduled_cycles(&graph, &cfg, &alg1) <= p1_cycles {
-            alg1
-        } else {
-            static_mapping.clone()
-        };
-        let refined = refine_per_node(&graph, &cfg, &seed);
-        let p2_cycles = scheduled_cycles(&graph, &cfg, &refined);
+        // Phase II: Algorithm-1 analytical refinement, then the per-node
+        // pooled-objective polish (the shared two-phase pipeline).
+        let refined = mapping::two_phase_mapping(&graph, &cfg, &opts);
+        let p2_cycles = mapping::scheduled_cycles(&graph, &cfg, &refined, &opts);
 
         let speedup = baseline as f64 / p2_cycles as f64;
         let p2_gain = 100.0 * (p1_cycles as f64 - p2_cycles as f64) / p1_cycles as f64;

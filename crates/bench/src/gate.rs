@@ -20,6 +20,9 @@
 //!   correctness bug, so they must match exactly.
 //! - **`meets_target`** — fails only on a `true → false` transition (a
 //!   baseline that never met the target cannot regress).
+//! - **`stall_*`** (any key containing `stall`) — bounded-above cycle
+//!   volumes from the scheduler's stall attribution. Fail when
+//!   `current > baseline · (1 + tolerance)`; reductions never fail.
 //! - **`telemetry.counters.*`** — liveness, not magnitude: every counter
 //!   that was nonzero in the baseline must be nonzero in the current run
 //!   (a zero means an instrumented fast path silently stopped running).
@@ -169,6 +172,10 @@ fn classify(key: &str) -> FieldClass {
     } else if key.contains("speedup") || key == "points_per_sec" {
         // speedup / best_speedup / best_resonator_speedup_dim_ge_1024 / …
         FieldClass::Throughput
+    } else if key.contains("stall") {
+        // stall_transfer / stall_dep_wait / … — cycle volumes that must
+        // stay bounded: growth past baseline·(1+tolerance) gates.
+        FieldClass::BoundedAbove
     } else if key == "meets_target" {
         FieldClass::MeetsTarget
     } else if key == "quick" {
@@ -181,6 +188,7 @@ fn classify(key: &str) -> FieldClass {
 enum FieldClass {
     Exact,
     Throughput,
+    BoundedAbove,
     MeetsTarget,
     Quick,
     Informational,
@@ -343,6 +351,31 @@ fn leaf(
                 "non-numeric throughput field",
             ),
         },
+        FieldClass::BoundedAbove => match (baseline.as_f64(), current.as_f64()) {
+            (Some(b), Some(c)) => {
+                let ceiling = b * (1.0 + tolerance);
+                if c > ceiling {
+                    push(
+                        rows,
+                        path,
+                        baseline,
+                        current,
+                        Verdict::Fail,
+                        &format!("above tolerance ceiling {ceiling:.3}"),
+                    );
+                } else {
+                    push(rows, path, baseline, current, Verdict::Pass, "");
+                }
+            }
+            _ => push(
+                rows,
+                path,
+                baseline,
+                current,
+                Verdict::Warn,
+                "non-numeric bounded field",
+            ),
+        },
         FieldClass::MeetsTarget => {
             let regressed = baseline.as_bool() == Some(true) && current.as_bool() == Some(false);
             if regressed {
@@ -491,6 +524,46 @@ mod tests {
             .any(|r| r.verdict == Verdict::Fail && r.path.contains("counters")));
         let rows = compare_documents("b", &doc(4.0, 100, true, 0), &doc(4.0, 100, true, 0), 0.5);
         assert!(rows.iter().all(|r| r.verdict != Verdict::Fail));
+    }
+
+    #[test]
+    fn stall_growth_fails_and_reduction_passes() {
+        let doc_with_stall = |stall: u64| {
+            JsonValue::parse(&format!(
+                r#"{{ "workloads": [ {{ "name": "NVSA", "stall_transfer": {stall} }} ] }}"#
+            ))
+            .unwrap()
+        };
+        let base = doc_with_stall(1000);
+        // 1000·(1+0.5) = 1500 is the ceiling: at it passes, above fails.
+        let at_ceiling = doc_with_stall(1500);
+        assert!(compare_documents("b", &base, &at_ceiling, 0.5)
+            .iter()
+            .all(|r| r.verdict != Verdict::Fail));
+        let above = doc_with_stall(1501);
+        assert!(compare_documents("b", &base, &above, 0.5)
+            .iter()
+            .any(|r| r.verdict == Verdict::Fail && r.path.ends_with("stall_transfer")));
+        let reduced = doc_with_stall(0);
+        assert!(compare_documents("b", &base, &reduced, 0.5)
+            .iter()
+            .all(|r| r.verdict != Verdict::Fail));
+    }
+
+    #[test]
+    fn stall_counters_inside_telemetry_keep_liveness_semantics() {
+        // `telemetry.counters.sim.stall_*` go through the counter rule
+        // (liveness), not the bounded-above rule: growth there is fine.
+        let doc_with_counter = |v: u64| {
+            JsonValue::parse(&format!(
+                r#"{{ "telemetry": {{ "counters": {{ "sim.stall_transfer": {v} }} }} }}"#
+            ))
+            .unwrap()
+        };
+        let rows = compare_documents("b", &doc_with_counter(10), &doc_with_counter(10_000), 0.5);
+        assert!(rows.iter().all(|r| r.verdict != Verdict::Fail));
+        let rows = compare_documents("b", &doc_with_counter(10), &doc_with_counter(0), 0.5);
+        assert!(rows.iter().any(|r| r.verdict == Verdict::Fail));
     }
 
     #[test]

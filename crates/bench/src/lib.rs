@@ -21,6 +21,8 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod mapping;
+pub mod simreport;
 
 use std::fs;
 use std::path::PathBuf;

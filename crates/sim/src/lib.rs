@@ -40,3 +40,4 @@ pub mod devices;
 pub mod energy;
 pub mod roofline;
 pub mod schedule;
+pub mod timeline;

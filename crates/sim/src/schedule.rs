@@ -28,7 +28,22 @@ pub enum Resource {
     Simd,
 }
 
-/// One scheduled op instance.
+/// One scheduled op instance, including *why* it started when it did.
+///
+/// The pre-start gap is attributed to two mutually exclusive stall
+/// categories, both measured by the scheduler that placed the op:
+///
+/// - [`dep_wait`](Self::dep_wait): cycles the op's execution slot sat
+///   idle because a data dependency (or, on the pooled backend, the
+///   previous loop instance of the same op) had not finished yet,
+/// - [`resource_wait`](Self::resource_wait): cycles the op was ready
+///   (all dependencies done) but its resource — partition queue, SIMD
+///   unit, or enough free pool sub-arrays — was still claimed.
+///
+/// [`transfer_stall`](Self::transfer_stall) is different in kind: it is
+/// *inside* `[start, end)` — extra occupancy cycles where the claimed
+/// arrays wait on the double-buffered weight/vector transfer instead of
+/// computing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledOp {
     /// Loop iteration index.
@@ -41,6 +56,12 @@ pub struct ScheduledOp {
     pub end: u64,
     /// Resource occupied.
     pub resource: Resource,
+    /// Cycles the op's slot idled waiting on dependencies before `start`.
+    pub dep_wait: u64,
+    /// Cycles the op was ready but its resource was busy before `start`.
+    pub resource_wait: u64,
+    /// Double-buffered transfer stall cycles inside `[start, end)`.
+    pub transfer_stall: u64,
 }
 
 /// The complete schedule of a workload run.
@@ -54,6 +75,13 @@ pub struct Schedule {
     /// Sub-array count when produced by the pooled scheduler
     /// ([`run_pooled`]); 0 for the partition-queue scheduler ([`run`]).
     pool_units: usize,
+    /// Whether the producing mapping time-shared one array (sequential
+    /// mode of [`run`]); pooled schedules are never sequential.
+    sequential: bool,
+    /// Concrete sub-array indices claimed by each op (aligned with
+    /// `ops`). Empty per-op for SIMD ops and for the partition-queue
+    /// scheduler, which does not place ops on individual sub-arrays.
+    unit_sets: Vec<Vec<u16>>,
 }
 
 impl Schedule {
@@ -61,6 +89,27 @@ impl Schedule {
     #[must_use]
     pub fn ops(&self) -> &[ScheduledOp] {
         &self.ops
+    }
+
+    /// Sub-array pool size for pooled schedules ([`run_pooled`]);
+    /// 0 for the partition-queue scheduler ([`run`]).
+    #[must_use]
+    pub fn pool_units(&self) -> usize {
+        self.pool_units
+    }
+
+    /// Whether the mapping time-shared a single array resource.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.sequential
+    }
+
+    /// Concrete sub-array indices op `i` (index into [`Schedule::ops`])
+    /// claimed, assigned deterministically first-fit by the pooled
+    /// scheduler. Empty for SIMD ops and partition-queue schedules.
+    #[must_use]
+    pub fn claimed_units(&self, i: usize) -> &[u16] {
+        self.unit_sets.get(i).map_or(&[], Vec::as_slice)
     }
 
     /// Makespan in cycles.
@@ -89,11 +138,16 @@ impl Schedule {
     /// Renders the schedule as a text Gantt timeline (one line per op
     /// instance, ordered by start cycle) — a debugging/inspection artifact
     /// for deployment analysis.
+    ///
+    /// Bar glyphs: `#` compute, `~` double-buffered transfer stall (the
+    /// leading portion of the op's occupancy), `.` the pre-start stall
+    /// gap (dependency + resource wait).
     #[must_use]
     pub fn to_gantt_text(&self, graph: &DataflowGraph) -> String {
         let mut lines = String::new();
         let width = 48usize;
         let span = self.total_cycles.max(1) as f64;
+        let cell = |cycle: u64| ((cycle as f64 / span) * width as f64) as usize;
         let mut ops = self.ops.clone();
         ops.sort_by_key(|so| (so.start, so.loop_idx, so.op.index()));
         for so in &ops {
@@ -103,13 +157,18 @@ impl Schedule {
                 Resource::VsaPartition => "VSA ",
                 Resource::Simd => "SIMD",
             };
-            let a = ((so.start as f64 / span) * width as f64) as usize;
-            let b = (((so.end as f64 / span) * width as f64) as usize)
-                .max(a + 1)
-                .min(width);
+            let a = cell(so.start);
+            let b = cell(so.end).max(a + 1).min(width);
             let mut bar = vec![b' '; width];
-            for c in bar.iter_mut().take(b).skip(a) {
-                *c = b'#';
+            // Pre-start stall gap (dependency + resource wait).
+            let wait = cell(so.start - (so.dep_wait + so.resource_wait).min(so.start)).min(a);
+            for c in bar.iter_mut().take(a).skip(wait) {
+                *c = b'.';
+            }
+            // Occupancy: transfer stall head, then compute.
+            let stall_end = cell(so.start + so.transfer_stall).clamp(a, b);
+            for (i, c) in bar.iter_mut().enumerate().take(b).skip(a) {
+                *c = if i < stall_end { b'~' } else { b'#' };
             }
             lines.push_str(&format!(
                 "{lane} |{}| {:>10}..{:<10} L{} {}\n",
@@ -124,19 +183,29 @@ impl Schedule {
     }
 
     /// Temporal utilization of the array: sub-array-cycles busy over
-    /// sub-array-cycles available (pooled schedules), or partition
+    /// sub-array-cycles available (pooled schedules, where per-op busy
+    /// time is weighted by the claimed sub-arrays), or partition
     /// busy/makespan for the two-queue scheduler.
+    ///
+    /// The denominator follows the schedule's actual array resources: the
+    /// sub-array pool for [`run_pooled`], two partition lanes for
+    /// parallel-mode [`run`], and a *single* time-shared lane for
+    /// sequential-mode [`run`] — so a fully busy sequential schedule
+    /// reports 100%, not 50%, and a pooled schedule can never exceed
+    /// 100% (its busy cycles are capacity-bounded by construction).
     #[must_use]
     pub fn array_utilization(&self) -> f64 {
         if self.total_cycles == 0 {
             return 0.0;
         }
-        let denom = if self.pool_units > 0 {
-            self.pool_units as u64 * self.total_cycles
+        let lanes = if self.pool_units > 0 {
+            self.pool_units as u64
+        } else if self.sequential {
+            1
         } else {
-            2 * self.total_cycles
+            2
         };
-        ((self.busy_nn + self.busy_vsa) as f64 / denom as f64).min(1.0)
+        (self.busy_nn + self.busy_vsa) as f64 / (lanes * self.total_cycles) as f64
     }
 }
 
@@ -148,6 +217,15 @@ fn record_schedule(schedule: &Schedule) {
     telemetry::counter!("sim.cycles.nn").add(schedule.busy_nn);
     telemetry::counter!("sim.cycles.vsa").add(schedule.busy_vsa);
     telemetry::counter!("sim.cycles.simd").add(schedule.busy_simd);
+    let (mut dep, mut res, mut xfer) = (0u64, 0u64, 0u64);
+    for op in &schedule.ops {
+        dep += op.dep_wait;
+        res += op.resource_wait;
+        xfer += op.transfer_stall;
+    }
+    telemetry::counter!("sim.stall_dep_wait").add(dep);
+    telemetry::counter!("sim.stall_resource_wait").add(res);
+    telemetry::counter!("sim.stall_transfer").add(xfer);
     if telemetry::enabled() {
         let histogram = telemetry::global().histogram("sim.op_cycles");
         for op in &schedule.ops {
@@ -208,9 +286,10 @@ pub fn run(
         .collect();
 
     let mut latencies = Vec::with_capacity(trace.ops().len());
+    let mut stalls = Vec::with_capacity(trace.ops().len());
     let mut resources = Vec::with_capacity(trace.ops().len());
     for op in trace.ops() {
-        let (latency, resource) = match *op.kind() {
+        let (latency, stall, resource) = match *op.kind() {
             OpKind::Gemm { m, n, k } => {
                 let n_l = mapping.n_l[nn_index[&op.id()]];
                 let compute = analytical::nn_layer_cycles(cfg, n_l, m, n, k);
@@ -218,7 +297,7 @@ pub fn run(
                     .transfer
                     .as_ref()
                     .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
-                (compute + stall, Resource::NnPartition)
+                (compute + stall, stall, Resource::NnPartition)
             }
             OpKind::VsaConv { n_vec, dim } => {
                 let n_v = mapping.n_v[vsa_index[&op.id()]];
@@ -227,14 +306,16 @@ pub fn run(
                     .transfer
                     .as_ref()
                     .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
-                (compute + stall, Resource::VsaPartition)
+                (compute + stall, stall, Resource::VsaPartition)
             }
             ref k => (
                 simd::op_cycles(k, options.simd_lanes).max(1),
+                0,
                 Resource::Simd,
             ),
         };
         latencies.push(latency.max(1));
+        stalls.push(stall);
         resources.push(resource);
     }
 
@@ -276,10 +357,14 @@ pub fn run(
                 start,
                 end,
                 resource: resources[pos],
+                dep_wait: dep_ready.saturating_sub(res_ready),
+                resource_wait: res_ready.saturating_sub(dep_ready),
+                transfer_stall: stalls[pos],
             });
         }
     }
 
+    let n_scheduled = scheduled.len();
     let schedule = Schedule {
         ops: scheduled,
         total_cycles: makespan,
@@ -287,6 +372,8 @@ pub fn run(
         busy_vsa: busy.get(&Resource::VsaPartition).copied().unwrap_or(0),
         busy_simd: busy.get(&Resource::Simd).copied().unwrap_or(0),
         pool_units: 0,
+        sequential: !mapping.parallel,
+        unit_sets: vec![Vec::new(); n_scheduled],
     };
     record_schedule(&schedule);
     schedule
@@ -336,6 +423,7 @@ pub fn run_pooled(
     // Per-op latency, pool demand and class (loop-invariant).
     let n_ops = trace.ops().len();
     let mut latency = vec![0u64; n_ops];
+    let mut stall_of = vec![0u64; n_ops];
     let mut demand = vec![0usize; n_ops];
     let mut class = Vec::with_capacity(n_ops);
     for (pos, op) in trace.ops().iter().enumerate() {
@@ -348,6 +436,7 @@ pub fn run_pooled(
                     .as_ref()
                     .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
                 latency[pos] = (compute + stall).max(1);
+                stall_of[pos] = stall;
                 demand[pos] = units;
                 class.push(Resource::NnPartition);
             }
@@ -359,6 +448,7 @@ pub fn run_pooled(
                     .as_ref()
                     .map_or(0, |t| t.stall_cycles(op.weight_bytes(), compute));
                 latency[pos] = (compute + stall).max(1);
+                stall_of[pos] = stall;
                 demand[pos] = units;
                 class.push(Resource::VsaPartition);
             }
@@ -399,10 +489,16 @@ pub fn run_pooled(
     let mut free = pool;
     let mut simd_free = true;
     let mut now = 0u64;
-    let mut scheduled = Vec::with_capacity(total);
+    let mut scheduled: Vec<(ScheduledOp, Vec<u16>)> = Vec::with_capacity(total);
     let mut busy = std::collections::HashMap::<Resource, u64>::new();
     let mut makespan = 0u64;
     let mut done = 0usize;
+    // Stall-attribution state: when each instance's dependencies finished
+    // (its entry into `ready`), when each concrete sub-array frees, and
+    // the previous SIMD op's end.
+    let mut ready_at = vec![0u64; total];
+    let mut unit_free = vec![0u64; pool];
+    let mut simd_prev_end = 0u64;
 
     while done < total {
         // Start every ready instance that fits, in deterministic order.
@@ -418,11 +514,31 @@ pub fn run_pooled(
                 continue;
             }
             ready.remove(&inst);
-            if class[p] == Resource::Simd {
+            // Claim concrete resources and note how long the last-needed
+            // one had been sitting idle — that idle window before the
+            // instance became ready is dependency-imposed.
+            let (anchor, units) = if class[p] == Resource::Simd {
                 simd_free = false;
+                let anchor = simd_prev_end;
+                simd_prev_end = now + latency[p];
+                (anchor, Vec::new())
             } else {
                 free -= demand[p];
-            }
+                let mut claimed = Vec::with_capacity(demand[p]);
+                let mut anchor = 0u64;
+                for (u, f) in unit_free.iter_mut().enumerate() {
+                    if claimed.len() == demand[p] {
+                        break;
+                    }
+                    if *f <= now {
+                        anchor = anchor.max(*f);
+                        *f = now + latency[p];
+                        claimed.push(u as u16);
+                    }
+                }
+                debug_assert_eq!(claimed.len(), demand[p], "pool accounting diverged");
+                (anchor, claimed)
+            };
             let end = now + latency[p];
             running.push(Reverse((end, inst)));
             // Pool utilization weights busy time by claimed sub-arrays.
@@ -433,13 +549,19 @@ pub fn run_pooled(
             };
             *busy.entry(class[p]).or_insert(0) += latency[p] * weight;
             makespan = makespan.max(end);
-            scheduled.push(ScheduledOp {
-                loop_idx: inst / n_ops,
-                op: trace.ops()[p].id(),
-                start: now,
-                end,
-                resource: class[p],
-            });
+            scheduled.push((
+                ScheduledOp {
+                    loop_idx: inst / n_ops,
+                    op: trace.ops()[p].id(),
+                    start: now,
+                    end,
+                    resource: class[p],
+                    dep_wait: ready_at[inst].saturating_sub(anchor),
+                    resource_wait: now - ready_at[inst],
+                    transfer_stall: stall_of[p],
+                },
+                units,
+            ));
         }
         // Advance to the next completion.
         let Some(Reverse((t, inst))) = running.pop() else {
@@ -468,19 +590,23 @@ pub fn run_pooled(
                 deps_left[dep] -= 1;
                 if deps_left[dep] == 0 {
                     ready.insert(dep);
+                    ready_at[dep] = now;
                 }
             }
         }
     }
 
-    scheduled.sort_by_key(|so| (so.start, so.loop_idx, so.op.index()));
+    scheduled.sort_by_key(|(so, _)| (so.start, so.loop_idx, so.op.index()));
+    let (ops, unit_sets): (Vec<ScheduledOp>, Vec<Vec<u16>>) = scheduled.into_iter().unzip();
     let schedule = Schedule {
-        ops: scheduled,
+        ops,
         total_cycles: makespan,
         busy_nn: busy.get(&Resource::NnPartition).copied().unwrap_or(0),
         busy_vsa: busy.get(&Resource::VsaPartition).copied().unwrap_or(0),
         busy_simd: busy.get(&Resource::Simd).copied().unwrap_or(0),
         pool_units: pool,
+        sequential: false,
+        unit_sets,
     };
     record_schedule(&schedule);
     schedule

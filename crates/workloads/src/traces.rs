@@ -348,6 +348,19 @@ pub fn all() -> Vec<Workload> {
     vec![nvsa(), mimonet(), lvrf(), prae()]
 }
 
+/// Looks up a suite workload by case-insensitive name (`"nvsa"`,
+/// `"mimonet"`, `"lvrf"`, `"prae"`); `None` for anything else.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    match name.to_ascii_lowercase().as_str() {
+        "nvsa" => Some(nvsa()),
+        "mimonet" => Some(mimonet()),
+        "lvrf" => Some(lvrf()),
+        "prae" => Some(prae()),
+        _ => None,
+    }
+}
+
 /// Fig. 6 ablation workload: ResNet-18 plus a symbolic stage scaled so
 /// that symbolic ops account for (approximately) `target_ratio` of the
 /// loop's memory traffic. Returns the trace and the achieved ratio.

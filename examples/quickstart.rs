@@ -73,5 +73,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.seconds * 1e3,
         100.0 * report.array_utilization
     );
+
+    // ── 4. Where did the cycles go? ────────────────────────────────────
+    // Re-run the pooled scheduler directly to inspect the timeline:
+    // stall taxonomy, NN/VSA/SIMD overlap, and the critical path
+    // (export with `to_chrome_trace` for Perfetto).
+    let timeline = nsflow::sim::schedule::run_pooled(
+        &design.graph,
+        design.array(),
+        design.mapping(),
+        &nsflow::sim::schedule::SimOptions {
+            simd_lanes: design.config.simd_lanes,
+            ..Default::default()
+        },
+    );
+    let stalls = timeline.stall_totals();
+    println!(
+        "stalls: dep_wait {} | resource_wait {} | transfer {} cycles",
+        stalls.dep_wait, stalls.resource_wait, stalls.transfer_stall
+    );
+    println!(
+        "overlap: >=2 engine classes active {:.0}% of the time; critical path {} ops",
+        100.0 * timeline.classes_overlap_cycles() as f64 / timeline.total_cycles().max(1) as f64,
+        timeline.critical_path(&design.graph).nodes.len()
+    );
     Ok(())
 }

@@ -12,7 +12,7 @@
 //! - `--loops N`                       loop count (default 1)
 //! - `--device u250|zcu104`            target device (default u250)
 //! - `--precision mp|int8|fp16|fp32`   precision preset (default mp)
-//! - `--out DIR`                       write artifacts (config/schedule/RTL/Gantt)
+//! - `--out DIR`                       write artifacts (config/schedule/RTL/Gantt/Chrome trace)
 
 use std::fs;
 use std::path::PathBuf;
@@ -225,6 +225,11 @@ fn compile(args: CompileArgs) -> Result<(), String> {
             ("host_schedule.txt", design.host_schedule()),
             ("nsflow_top.sv", design.rtl_text()),
             ("timeline.gantt.txt", schedule.to_gantt_text(&design.graph)),
+            (
+                // Open in Perfetto / chrome://tracing.
+                "timeline.trace.json",
+                schedule.to_chrome_trace(&design.graph).render_pretty(),
+            ),
         ];
         for (file, contents) in writes {
             fs::write(dir.join(file), contents).map_err(|e| format!("write {file}: {e}"))?;
